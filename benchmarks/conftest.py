@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the rows/series that figure plots (run with ``-s`` to see them).  Scale is
+controlled by ``REPRO_BENCH_JOBS`` (trace length per experiment; default
+120 — large enough for every qualitative shape, small enough for CI).  Set
+``REPRO_BENCH_JOBS=500`` to regenerate the paper-scale numbers recorded in
+EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+#: trace length used by the cluster-experiment benchmarks
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "120"))
+
+
+@pytest.fixture(scope="session")
+def n_jobs() -> int:
+    return BENCH_JOBS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Ablation: DARE vs the Scarlett epoch-based baseline.
+
+The paper (Section VI) argues DARE's *reactive* replication adapts at
+smaller time scales than Scarlett's epochs and incurs no replication
+traffic.  This benchmark runs both on the same workload and prints
+locality alongside the network bytes each spent to get it.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.baselines.scarlett import ScarlettConfig
+from repro.core.config import DareConfig
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.workloads.swim import synthesize_wl1
+
+
+def _compare(n_jobs):
+    wl = synthesize_wl1(np.random.default_rng(20110926), n_jobs=n_jobs)
+    rows = {}
+    rows["vanilla"] = run_experiment(ExperimentConfig(), wl)
+    rows["dare-et"] = run_experiment(
+        ExperimentConfig(dare=DareConfig.elephant_trap()), wl
+    )
+    rows["scarlett"] = run_experiment(
+        ExperimentConfig(scarlett=ScarlettConfig(epoch_s=60.0, budget=0.2, max_concurrent=16)), wl
+    )
+    return rows
+
+
+def test_dare_vs_scarlett(benchmark, n_jobs):
+    rows = run_once(benchmark, _compare, n_jobs)
+    print("\nDARE vs Scarlett (wl1, FIFO):")
+    print(f"{'system':>10s} {'locality':>9s} {'remote-read GB':>15s} "
+          f"{'rebalance GB':>13s} {'gmtt':>7s}")
+    for name, r in rows.items():
+        print(f"{name:>10s} {r.job_locality:>9.3f} "
+              f"{r.traffic_bytes['remote_map_reads'] / 1e9:>15.1f} "
+              f"{r.traffic_bytes['rebalancing'] / 1e9:>13.1f} {r.gmtt_s:>7.1f}")
+
+    vanilla, dare, scarlett = rows["vanilla"], rows["dare-et"], rows["scarlett"]
+    # both schemes beat vanilla locality
+    assert dare.job_locality > vanilla.job_locality
+    assert scarlett.job_locality > vanilla.job_locality
+    # ...but only Scarlett pays dedicated replication traffic
+    assert dare.traffic_bytes["rebalancing"] == 0
+    assert scarlett.traffic_bytes["rebalancing"] > 0
+    # and both cut the remote-read traffic that motivates the paper
+    assert dare.traffic_bytes["remote_map_reads"] < vanilla.traffic_bytes["remote_map_reads"]

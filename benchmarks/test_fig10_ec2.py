@@ -1,0 +1,27 @@
+"""Figure 10: DARE on the virtualized 100-node EC2 cluster (wl1)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig10_ec2, print_fig7
+
+
+def test_fig10_ec2(benchmark, n_jobs):
+    cells = run_once(benchmark, fig10_ec2, n_jobs=n_jobs)
+    print()
+    print_fig7(cells, f"Fig. 10 (100-node EC2, wl1 x {n_jobs} jobs)")
+    by = {c.scheduler: c for c in cells}
+
+    # vanilla FIFO locality collapses on 99 slaves (~= rf / n_slaves)
+    assert by["fifo"].locality["vanilla"] < 0.12
+    # DARE lifts it severalfold
+    assert by["fifo"].locality["lru"] > 3 * by["fifo"].locality["vanilla"]
+    assert by["fifo"].locality["elephant-trap"] > 2 * by["fifo"].locality["vanilla"]
+
+    # GMTT and slowdown improve (paper: 19% and 25% — larger than on CCT
+    # thanks to the worse net/disk bandwidth ratio)
+    assert by["fifo"].gmtt_normalized["lru"] < 0.95
+    assert by["fifo"].slowdown["lru"] < by["fifo"].slowdown["vanilla"]
+
+    # Fair with delay scheduling reaches high locality; DARE still helps
+    assert by["fair"].locality["vanilla"] > 0.4
+    assert by["fair"].locality["lru"] > by["fair"].locality["vanilla"]

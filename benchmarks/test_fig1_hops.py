@@ -1,0 +1,18 @@
+"""Figure 1: hop-count distribution between EC2 node pairs."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.tables import fig1_hop_distribution
+
+
+def test_fig1_hop_distribution(benchmark):
+    hist = run_once(benchmark, fig1_hop_distribution)
+    print("\nFig. 1 — proportion of node pairs per hop count:")
+    for hops, frac in enumerate(hist):
+        if frac > 0:
+            print(f"  {hops:>2d} hops: {frac:.3f} {'#' * int(40 * frac)}")
+    # the paper's EC2 cluster peaks at 4 hops; in-house would be 1-2
+    assert int(np.argmax(hist)) in (3, 4, 5)
+    assert hist.sum() == 1.0 or abs(hist.sum() - 1.0) < 1e-9
+    assert hist[1] + hist[2] < 0.2  # few pairs are rack-adjacent

@@ -1,0 +1,21 @@
+"""Figure 2: file popularity vs rank (raw and block-weighted)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig2_popularity
+
+
+def test_fig2_popularity(benchmark):
+    pop = run_once(benchmark, fig2_popularity)
+    raw, weighted = pop["raw"], pop["weighted"]
+    print("\nFig. 2 — accesses by file rank (raw | block-weighted):")
+    for rank in (1, 10, 100, 1000):
+        if rank <= len(raw):
+            w = weighted[rank - 1] if rank <= len(weighted) else float("nan")
+            print(f"  rank {rank:>5d}: {raw[rank - 1]:>9.0f} | {w:>11.0f}")
+    # heavy tail spanning ~4 decades, like the Yahoo! log
+    assert raw[0] > 10_000
+    assert raw[-1] <= 10
+    assert raw[0] > 100 * raw[min(99, len(raw) - 1)]
+    # block-weighting preserves the heavy-tailed shape
+    assert weighted[0] > 100 * weighted[min(99, len(weighted) - 1)]

@@ -1,0 +1,20 @@
+"""Figure 3: CDF of file age at time of access."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import fig3_age_cdf
+
+
+def test_fig3_age_cdf(benchmark):
+    out = run_once(benchmark, fig3_age_cdf)
+    grid, cdf = out["grid_hours"], out["cdf"]
+    print("\nFig. 3 — fraction of accesses at age < t:")
+    for h in (1.0, 6.0, 12.0, 24.0, 72.0, 168.0):
+        idx = int(np.argmin(np.abs(grid - h)))
+        print(f"  t = {h:>6.0f} h: {cdf[idx]:.3f}")
+    day = cdf[int(np.argmin(np.abs(grid - 24.0)))]
+    # paper: ~80% of accesses within the first day; median ~9h45m
+    assert 0.6 < day < 0.95
+    assert cdf[-1] == 1.0
+    assert 3.0 < out["median_hours"][0] < 24.0

@@ -1,0 +1,21 @@
+"""Figure 4: smallest windows holding 80%+ of each file's accesses (week)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig4_windows
+
+
+def test_fig4_window_distribution(benchmark):
+    panels = run_once(benchmark, fig4_windows)
+    print("\nFig. 4 — fraction of big files per 80%-window size:")
+    for key in ("unweighted", "weighted"):
+        sizes, frac = panels[key]
+        nonzero = [(int(s), float(f)) for s, f in zip(sizes, frac) if f > 0.01]
+        print(f"  ({key}) " + "  ".join(f"{s}h:{f:.2f}" for s, f in nonzero))
+    sizes, frac = panels["unweighted"]
+    assert abs(frac.sum() - 1.0) < 1e-9
+    # most bursts are tight (a couple of hours)...
+    assert frac[:3].sum() > 0.2
+    # ...and the daily-access spike near 121 h is present (paper: "the
+    # spike at window 121 shows that most files are accessed daily")
+    assert frac[112:130].sum() > 0.05

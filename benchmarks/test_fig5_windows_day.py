@@ -1,0 +1,19 @@
+"""Figure 5: 80%-access windows within day 2 of the data set."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig5_windows_day
+
+
+def test_fig5_day_windows(benchmark):
+    panels = run_once(benchmark, fig5_windows_day)
+    sizes, frac = panels["unweighted"]
+    print("\nFig. 5 — within day 2, fraction of big files per window size:")
+    for s, f in zip(sizes, frac):
+        if f > 0.005:
+            print(f"  {int(s):>2d} h: {f:.3f}")
+    # paper: "within a day, most significant file accesses lie within 1 hour"
+    assert frac[0] > 0.35
+    assert frac[:2].sum() > 0.8
+    _, weighted = panels["weighted"]
+    assert weighted[:2].sum() > 0.7

@@ -1,0 +1,19 @@
+"""Figure 6: access CDF by file rank of the experiment workload."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig6_access_cdf
+
+
+def test_fig6_access_cdf(benchmark, n_jobs):
+    cdf = run_once(benchmark, fig6_access_cdf, n_jobs=n_jobs)
+    print("\nFig. 6 — cumulative access probability by file rank:")
+    for rank in (1, 2, 5, 10, 20, 40, len(cdf)):
+        if rank <= len(cdf):
+            print(f"  top {rank:>3d}: {cdf[rank - 1]:.3f}")
+    # heavy-tailed: the top handful of files dominates, CDF reaches 1 by
+    # the catalog size (~120 files in the paper's Fig. 6)
+    assert cdf[0] > 0.15
+    assert cdf[min(19, len(cdf) - 1)] > 0.7
+    assert abs(cdf[-1] - 1.0) < 1e-9
+    assert len(cdf) <= 130

@@ -1,0 +1,38 @@
+"""Figure 7: data locality, GMTT, and slowdown on the 20-node CCT cluster.
+
+The paper's headline results: DARE improves FIFO locality severalfold
+(paper: up to 7x), brings Fair close to full locality, and cuts GMTT /
+slowdown / map completion time by double-digit percentages.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig7_cct, print_fig7
+
+
+def test_fig7_cct(benchmark, n_jobs):
+    cells = run_once(benchmark, fig7_cct, n_jobs=n_jobs)
+    print()
+    print_fig7(cells, f"Fig. 7 (20-node CCT, {n_jobs}-job traces)")
+    by = {(c.scheduler, c.workload): c for c in cells}
+
+    # (a) locality: DARE lifts FIFO severalfold on the small-job workload
+    fifo1 = by[("fifo", "wl1")]
+    assert fifo1.locality["lru"] > 2.0 * fifo1.locality["vanilla"]
+    assert fifo1.locality["elephant-trap"] > 1.5 * fifo1.locality["vanilla"]
+
+    # Fair reaches high locality with DARE (paper: >85%, close to 100%)
+    fair2 = by[("fair", "wl2")]
+    assert fair2.locality["vanilla"] > 0.6  # "quite high even without"
+    assert fair2.locality["lru"] > fair2.locality["vanilla"]
+
+    # (b) GMTT: dynamic replication reduces turnaround (paper: ~16%)
+    assert fifo1.gmtt_normalized["lru"] < 0.97
+    assert fifo1.gmtt_normalized["elephant-trap"] < 1.0
+
+    # (c) slowdown improves alongside (paper: ~20%)
+    assert fifo1.slowdown["lru"] < fifo1.slowdown["vanilla"]
+    assert fifo1.slowdown["elephant-trap"] < fifo1.slowdown["vanilla"]
+
+    # Section V-C: map completion times drop (paper: ~12%)
+    assert fifo1.map_time_normalized["lru"] < 0.97

@@ -1,0 +1,42 @@
+"""Figure 9: sensitivity to the replication budget (wl2)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import (
+    fig9a_budget_sweep_lru,
+    fig9b_budget_sweep_et,
+    print_sweep,
+)
+
+BUDGETS = (0.0, 0.1, 0.2, 0.4, 0.6, 0.9)
+
+
+def test_fig9a_lru_budget_sweep(benchmark, n_jobs):
+    points = run_once(
+        benchmark, fig9a_budget_sweep_lru, budgets=BUDGETS, n_jobs=n_jobs
+    )
+    print("\nFig. 9a — DARE/LRU: locality and blocks/job vs budget:")
+    print_sweep(points, "budget")
+    fifo = {pt.x: pt for pt in points if pt.scheduler == "fifo"}
+    # locality rises with budget and saturates early: "even small budgets
+    # allow DARE to replicate the most popular files"
+    assert fifo[0.1].locality > fifo[0.0].locality
+    assert fifo[0.9].locality >= fifo[0.1].locality * 0.95
+    gain_small = fifo[0.2].locality - fifo[0.0].locality
+    gain_large = fifo[0.9].locality - fifo[0.2].locality
+    assert gain_small > gain_large  # diminishing returns
+
+
+def test_fig9b_et_budget_sweep(benchmark, n_jobs):
+    out = run_once(
+        benchmark, fig9b_budget_sweep_et,
+        budgets=BUDGETS, p_values=(0.3, 0.9), n_jobs=n_jobs,
+    )
+    for p, points in out.items():
+        print(f"\nFig. 9b — DARE/ElephantTrap p={p}: vs budget:")
+        print_sweep(points, "budget")
+    fifo_p9 = {pt.x: pt for pt in out[0.9] if pt.scheduler == "fifo"}
+    fifo_p3 = {pt.x: pt for pt in out[0.3] if pt.scheduler == "fifo"}
+    assert fifo_p9[0.4].locality > fifo_p9[0.0].locality
+    # higher p replicates more aggressively at equal budget
+    assert fifo_p9[0.4].blocks_per_job > fifo_p3[0.4].blocks_per_job

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the hot simulation paths.
+
+Unlike the figure benchmarks (one timed end-to-end run each), these use
+pytest-benchmark's repeated timing to track the cost of the primitives the
+simulator leans on: the event loop, the ElephantTrap update, the NameNode
+locality query, and heartbeat task assignment.
+"""
+
+import random
+
+import numpy as np
+
+from repro.cluster.cluster import CCT_SPEC, Cluster
+from repro.core.elephant_trap import ElephantTrapPolicy
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.hdfs.inode import INode
+from repro.hdfs.namenode import NameNode
+from repro.simulation.engine import Engine
+from repro.simulation.rng import RandomStreams
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run 10k chained events."""
+
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                engine.schedule_in(1.0, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_elephant_trap_update_cost(benchmark):
+    """A full trap lifecycle: adds, accesses, eviction walks."""
+    blocks = INode(0, "f").allocate_blocks(64 * DEFAULT_BLOCK_SIZE, 0)
+    other = INode(1, "g").allocate_blocks(8 * DEFAULT_BLOCK_SIZE, 100)
+
+    def run():
+        et = ElephantTrapPolicy(0.3, 1, random.Random(7))
+        for b in blocks[:32]:
+            et.add(b)
+        for i in range(2000):
+            et.on_local_access(blocks[i % 32])
+            if i % 10 == 0:
+                victim = et.pick_victim(other[i % 8])
+                if victim is not None:
+                    et.remove(victim.block_id)
+                    et.add(blocks[32 + (i // 10) % 32])
+        return len(et)
+
+    assert benchmark(run) > 0
+
+
+def test_namenode_locality_queries(benchmark):
+    """The query the scheduler issues for every pending task scan."""
+    cluster = Cluster(CCT_SPEC, RandomStreams(3))
+    nn = NameNode(cluster)
+    f = nn.create_file("data", 200 * DEFAULT_BLOCK_SIZE)
+    block_ids = [b.block_id for b in f.blocks]
+
+    def run():
+        hits = 0
+        for node in range(1, 20):
+            for bid in block_ids:
+                if nn.is_local(bid, node):
+                    hits += 1
+        return hits
+
+    assert benchmark(run) == 3 * 200  # rf 3 x 200 blocks
+
+
+def test_namenode_file_creation(benchmark):
+    """Namespace + placement cost for a 120-file data set."""
+
+    def run():
+        cluster = Cluster(CCT_SPEC, RandomStreams(3))
+        nn = NameNode(cluster)
+        rng = np.random.default_rng(5)
+        for i in range(120):
+            nn.create_file(f"f{i}", int(rng.integers(1, 9)) * DEFAULT_BLOCK_SIZE)
+        return len(nn.files)
+
+    assert benchmark(run) == 120

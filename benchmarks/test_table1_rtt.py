@@ -1,0 +1,17 @@
+"""Table I: all-to-all ping round-trip times, CCT vs EC2."""
+
+from conftest import run_once
+
+from repro.experiments.tables import print_table1, table1_rtt
+
+
+def test_table1_rtt(benchmark):
+    rows = run_once(benchmark, table1_rtt)
+    print()
+    print_table1(rows)
+    stats = {r.cluster: r.stats for r in rows}
+    # paper: CCT 0.01/0.18/2.17/0.34 — EC2 0.02/0.77/75.1/3.36 (ms)
+    assert 0.10 < stats["cct"].mean < 0.30
+    assert 0.5 < stats["ec2"].mean < 1.5
+    assert stats["ec2"].max > 20
+    assert stats["ec2"].std > 5 * stats["cct"].std

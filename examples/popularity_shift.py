@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""DARE adapts to popularity changes at runtime.
+
+This is the property that separates DARE from epoch-based systems like
+Scarlett: replication reacts to the access stream itself, so when the hot
+data set changes mid-workload, old replicas age out and the new hot file
+gets replicated — no epoch boundary or central recomputation required.
+
+The script builds a two-phase trace: phase 1 hammers file A, phase 2
+abruptly switches to file B.  It then reports per-phase locality and the
+eviction counters that show the replica population turning over.
+
+Run:  python examples/popularity_shift.py
+"""
+
+import numpy as np
+
+from repro import DareConfig, ExperimentConfig, run_experiment
+from repro.mapreduce.job import JobSpec
+from repro.workloads.catalog import FileCatalog, FileSpec
+from repro.workloads.swim import Workload
+
+
+def build_shifting_workload(n_jobs: int = 300, seed: int = 5) -> Workload:
+    """Phase 1 reads hot_a (+ background); phase 2 shifts to hot_b."""
+    rng = np.random.default_rng(seed)
+    files = [FileSpec("hot_a", 3, "small"), FileSpec("hot_b", 3, "small")]
+    files += [FileSpec(f"bg{i:02d}", int(rng.integers(2, 8)), "small") for i in range(60)]
+    catalog = FileCatalog(files)
+
+    specs = []
+    t = 0.0
+    for i in range(n_jobs):
+        t += float(rng.exponential(3.0))
+        phase2 = i >= n_jobs // 2
+        if rng.random() < 0.5:
+            name = "hot_b" if phase2 else "hot_a"
+        else:
+            name = f"bg{rng.integers(0, 60):02d}"
+        specs.append(
+            JobSpec(
+                job_id=i,
+                submit_time=t,
+                input_file=name,
+                map_cpu_s=float(rng.lognormal(np.log(2.5), 0.5)),
+                n_reduces=1,
+                reduce_cpu_s=2.0,
+            )
+        )
+    return Workload("shift", catalog, specs)
+
+
+def phase_locality(result, workload, lo: int, hi: int) -> float:
+    """Mean job locality over a job-id range."""
+    recs = [r for r in result.collector.job_records if lo <= r.job_id < hi]
+    return sum(r.data_locality for r in recs) / len(recs)
+
+
+def main() -> None:
+    workload = build_shifting_workload()
+    half = workload.n_jobs // 2
+
+    for label, dare in [
+        ("vanilla Hadoop", DareConfig.off()),
+        ("DARE ElephantTrap", DareConfig.elephant_trap(p=0.3, threshold=1, budget=0.2)),
+    ]:
+        result = run_experiment(ExperimentConfig(scheduler="fifo", dare=dare), workload)
+        p1 = phase_locality(result, workload, 0, half)
+        p2a = phase_locality(result, workload, half, half + half // 4)
+        p2b = phase_locality(result, workload, workload.n_jobs - half // 4, workload.n_jobs)
+        print(f"{label}:")
+        print(f"  phase 1 locality (file A hot):            {p1:.3f}")
+        print(f"  right after the shift (file B now hot):   {p2a:.3f}")
+        print(f"  end of phase 2 (DARE has re-adapted):     {p2b:.3f}")
+        print(f"  replicas created={result.blocks_created} "
+              f"evicted={result.blocks_evicted}\n")
+
+    print("With DARE, locality dips right after the shift and recovers as the")
+    print("competitive-aging eviction replaces file A's replicas with file B's.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: vanilla Hadoop vs DARE on a small cluster.
+
+Synthesizes a 150-job small-jobs workload (the paper's wl1 shape), replays
+it through the simulated 20-node CCT cluster under the FIFO scheduler, and
+compares vanilla Hadoop against both DARE variants.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DareConfig, ExperimentConfig, run_experiment, synthesize_wl1
+
+
+def main() -> None:
+    workload = synthesize_wl1(np.random.default_rng(7), n_jobs=150)
+    print(
+        f"workload: {workload.n_jobs} jobs, {workload.total_map_tasks()} map tasks, "
+        f"{len(workload.catalog)} files ({workload.catalog.total_blocks} blocks)"
+    )
+
+    configs = {
+        "vanilla Hadoop": DareConfig.off(),
+        "DARE greedy/LRU (Alg. 1)": DareConfig.greedy_lru(budget=0.2),
+        "DARE ElephantTrap (Alg. 2)": DareConfig.elephant_trap(
+            p=0.3, threshold=1, budget=0.2
+        ),
+    }
+
+    print(f"\n{'configuration':<28s} {'locality':>9s} {'GMTT':>8s} "
+          f"{'slowdown':>9s} {'blocks/job':>11s}")
+    baseline = None
+    for label, dare in configs.items():
+        result = run_experiment(
+            ExperimentConfig(scheduler="fifo", dare=dare), workload
+        )
+        if baseline is None:
+            baseline = result
+        print(
+            f"{label:<28s} {result.job_locality:>9.3f} {result.gmtt_s:>7.1f}s "
+            f"{result.slowdown:>9.2f} {result.blocks_created_per_job:>11.2f}"
+        )
+
+    print(
+        "\nDARE replicates popular blocks on the nodes that already fetched "
+        "them,\nso data locality rises and turnaround falls — with zero extra "
+        "network traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

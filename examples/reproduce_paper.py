@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper at full scale.
+
+Runs the complete evaluation: Tables I-II, Fig. 1 (cluster probes),
+Figs. 2-5 (audit-log analyses), Fig. 6 (workload CDF), Figs. 7-9 (CCT
+experiments and sensitivity sweeps), Fig. 10 (EC2), and Fig. 11
+(placement uniformity), printing the rows/series each figure plots.
+
+Full scale (500-job traces, all sweeps) takes tens of minutes; pass a
+smaller job count for a quick pass:
+
+    python examples/reproduce_paper.py            # full 500-job traces
+    python examples/reproduce_paper.py 150        # reduced scale
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments.figures import (
+    fig2_popularity,
+    fig3_age_cdf,
+    fig4_windows,
+    fig5_windows_day,
+    fig6_access_cdf,
+    fig7_cct,
+    fig8a_p_sweep,
+    fig8b_threshold_sweep,
+    fig9a_budget_sweep_lru,
+    fig9b_budget_sweep_et,
+    fig10_ec2,
+    fig11_uniformity,
+    print_fig7,
+    print_sweep,
+)
+from repro.experiments.tables import (
+    bandwidth_ratios,
+    fig1_hop_distribution,
+    print_table1,
+    print_table2,
+    table1_rtt,
+    table2_bandwidth,
+)
+
+
+def banner(msg: str) -> None:
+    print(f"\n{'=' * 72}\n{msg}\n{'=' * 72}")
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    t0 = time.time()
+
+    banner("Tables I-II and Fig. 1: cluster measurements")
+    print_table1(table1_rtt())
+    print()
+    print_table2(table2_bandwidth())
+    ratios = bandwidth_ratios()
+    print(f"\nnet/disk bandwidth ratio: CCT {100 * ratios['cct']:.1f}% vs "
+          f"EC2 {100 * ratios['ec2']:.1f}% (paper: 74.6% vs 51.75%)")
+    hist = fig1_hop_distribution()
+    print("Fig. 1 hop-count distribution (EC2 pairs):")
+    for h, frac in enumerate(hist):
+        if frac > 0:
+            print(f"  {h:>2d} hops: {'#' * int(50 * frac)} {frac:.2f}")
+
+    banner("Figs. 2-5: access patterns in the (synthetic) production log")
+    pop = fig2_popularity()
+    print("Fig. 2 popularity by rank (raw):",
+          [int(x) for x in pop["raw"][[0, 9, 99, min(999, len(pop['raw']) - 1)]]])
+    age = fig3_age_cdf()
+    grid, cdf = age["grid_hours"], age["cdf"]
+    for h in (1.0, 24.0, 168.0):
+        print(f"Fig. 3 CDF(age < {h:.0f} h) = {cdf[np.argmin(np.abs(grid - h))]:.2f}")
+    print(f"       median age = {age['median_hours'][0]:.1f} h (paper: 9h45m)")
+    sizes, frac = fig4_windows()["unweighted"]
+    print(f"Fig. 4 window mass: <=2h {frac[:2].sum():.2f}, "
+          f"daily spike (116-130h) {frac[115:130].sum():.2f}")
+    sizes_d, frac_d = fig5_windows_day()["unweighted"]
+    print(f"Fig. 5 (day 2) windows <=1h: {frac_d[0]:.2f}, <=2h: {frac_d[:2].sum():.2f}")
+
+    banner("Fig. 6: access CDF of the experiment workload")
+    cdf6 = fig6_access_cdf(n_jobs=n_jobs)
+    for r in (1, 5, 10, 20, min(60, len(cdf6))):
+        print(f"  top {r:>3d} files: {100 * cdf6[r - 1]:5.1f}% of accesses")
+
+    banner(f"Fig. 7: 20-node CCT cluster, {n_jobs}-job traces")
+    print_fig7(fig7_cct(n_jobs=n_jobs))
+
+    banner("Fig. 8a: locality & blocks/job vs ElephantTrap p (wl2)")
+    print_sweep(fig8a_p_sweep(n_jobs=n_jobs), "p")
+
+    banner("Fig. 8b: locality & blocks/job vs aging threshold (wl2)")
+    print_sweep(fig8b_threshold_sweep(n_jobs=n_jobs), "threshold")
+
+    banner("Fig. 9a: locality & blocks/job vs budget, greedy LRU (wl2)")
+    print_sweep(fig9a_budget_sweep_lru(n_jobs=n_jobs), "budget")
+
+    banner("Fig. 9b: locality & blocks/job vs budget, ElephantTrap (wl2)")
+    for p, points in fig9b_budget_sweep_et(n_jobs=n_jobs).items():
+        print(f"-- p = {p}")
+        print_sweep(points, "budget")
+
+    banner(f"Fig. 10: 100-node EC2 cluster, wl1 x {n_jobs} jobs")
+    print_fig7(fig10_ec2(n_jobs=n_jobs), "Fig. 10 (100-node EC2)")
+
+    banner("Fig. 11: uniformity of replica placement (cv of popularity index)")
+    print(f"{'p':>6s} {'cv before':>10s} {'cv after':>10s}")
+    for pt in fig11_uniformity(n_jobs=n_jobs):
+        print(f"{pt.p:>6.1f} {pt.cv_before:>10.3f} {pt.cv_after:>10.3f}")
+
+    print(f"\ntotal: {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

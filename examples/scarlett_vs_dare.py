@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""DARE vs Scarlett: reactive vs epoch-based replication.
+
+Scarlett (EuroSys'11) is the paper's closest related work: every epoch it
+recomputes per-file replication factors from observed popularity and
+rebalances proactively — paying real network traffic for each copy.  DARE
+replicates reactively, on the back of reads that happen anyway.
+
+Two scenarios:
+
+1. a *stationary* workload, where both approaches help, but Scarlett pays
+   tens of GB of rebalancing traffic for its locality while DARE pays none;
+2. a *popularity shift* mid-workload, where Scarlett keeps serving the
+   previous epoch's hot set while DARE re-adapts within seconds — the
+   paper's core argument for a reactive scheme (Section VI).
+
+Run:  python examples/scarlett_vs_dare.py
+"""
+
+import numpy as np
+
+from repro import DareConfig, ExperimentConfig, run_experiment, synthesize_wl1
+from repro.baselines.scarlett import ScarlettConfig
+from repro.mapreduce.job import JobSpec
+from repro.workloads.catalog import FileCatalog, FileSpec
+from repro.workloads.swim import Workload
+
+
+def stationary() -> None:
+    print("=== stationary workload (wl1, FIFO) ===")
+    wl = synthesize_wl1(np.random.default_rng(7), n_jobs=250)
+    systems = {
+        "vanilla": ExperimentConfig(),
+        "DARE/ET": ExperimentConfig(dare=DareConfig.elephant_trap()),
+        "Scarlett": ExperimentConfig(
+            scarlett=ScarlettConfig(epoch_s=60.0, budget=0.2, max_concurrent=16)
+        ),
+    }
+    print(f"{'system':<10s} {'locality':>9s} {'remote reads':>13s} "
+          f"{'rebalancing':>12s} {'GMTT':>7s}")
+    for name, cfg in systems.items():
+        r = run_experiment(cfg, wl)
+        print(f"{name:<10s} {r.job_locality:>9.3f} "
+              f"{r.traffic_bytes['remote_map_reads'] / 1e9:>11.1f}GB "
+              f"{r.traffic_bytes['rebalancing'] / 1e9:>10.1f}GB {r.gmtt_s:>6.1f}s")
+    print()
+
+
+def build_shift(n_jobs: int = 240, seed: int = 5) -> Workload:
+    rng = np.random.default_rng(seed)
+    files = [FileSpec("hot_a", 2, "small"), FileSpec("hot_b", 2, "small")]
+    files += [FileSpec(f"bg{i:02d}", 2, "small") for i in range(40)]
+    specs = []
+    t = 0.0
+    for i in range(n_jobs):
+        t += float(rng.exponential(4.0))
+        hot = "hot_b" if i >= n_jobs // 2 else "hot_a"
+        name = hot if rng.random() < 0.6 else f"bg{rng.integers(0, 40):02d}"
+        specs.append(JobSpec(i, t, name, map_cpu_s=2.0, n_reduces=0))
+    return Workload("shift", FileCatalog(files), specs)
+
+
+def shifting() -> None:
+    print("=== popularity shift halfway through (hot file A -> B) ===")
+    wl = build_shift()
+    half = wl.n_jobs // 2
+    span = max(s.submit_time for s in wl.specs)
+
+    def phase2(result):
+        recs = [r for r in result.collector.job_records if r.job_id >= half]
+        return sum(r.data_locality for r in recs) / len(recs)
+
+    dare = run_experiment(
+        ExperimentConfig(dare=DareConfig.elephant_trap(p=0.5, budget=0.3)), wl
+    )
+    # Scarlett with an epoch sized like its real deployments: it recomputes
+    # once before the shift and never catches the new hot file in time
+    scarlett = run_experiment(
+        ExperimentConfig(
+            scarlett=ScarlettConfig(epoch_s=span / 2.2, budget=0.3, max_concurrent=16)
+        ),
+        wl,
+    )
+    print(f"  locality on post-shift jobs:  DARE {phase2(dare):.3f}  "
+          f"vs  Scarlett {phase2(scarlett):.3f}")
+    print("  (DARE re-adapts inside the epoch; Scarlett still replicates")
+    print("   the previous epoch's hot file)")
+
+
+def main() -> None:
+    stationary()
+    shifting()
+
+
+if __name__ == "__main__":
+    main()

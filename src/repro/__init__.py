@@ -1,0 +1,64 @@
+"""repro — a full reproduction of *DARE: Adaptive Data Replication for
+Efficient Cluster Scheduling* (Abad, Lu, Campbell; IEEE CLUSTER 2011).
+
+The package provides:
+
+* :mod:`repro.core` — the DARE algorithms (greedy LRU, Algorithm 1;
+  probabilistic ElephantTrap, Algorithm 2) and the replication budget;
+* :mod:`repro.hdfs`, :mod:`repro.mapreduce`, :mod:`repro.scheduling`,
+  :mod:`repro.cluster`, :mod:`repro.simulation` — the simulated Hadoop
+  substrate (HDFS metadata, JobTracker/TaskTracker heartbeat scheduling,
+  FIFO and Fair-with-delay schedulers, cluster network/disk models);
+* :mod:`repro.workloads` — SWIM-style Facebook workload synthesis;
+* :mod:`repro.analysis` — the Yahoo!-log access-pattern analyses of
+  Section III;
+* :mod:`repro.metrics`, :mod:`repro.experiments` — the paper's metrics and
+  one driver per evaluation table/figure.
+
+Quickstart::
+
+    from repro import (
+        DareConfig, ExperimentConfig, run_experiment, synthesize_wl1,
+    )
+    import numpy as np
+
+    wl = synthesize_wl1(np.random.default_rng(7), n_jobs=100)
+    vanilla = run_experiment(ExperimentConfig(scheduler="fifo"), wl)
+    dare = run_experiment(
+        ExperimentConfig(scheduler="fifo", dare=DareConfig.elephant_trap()), wl
+    )
+    print(vanilla.job_locality, "->", dare.job_locality)
+"""
+
+from repro.core.config import DareConfig, Policy
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.cluster.cluster import CCT_SPEC, EC2_SPEC, ClusterSpec, build_cluster
+from repro.workloads.swim import (
+    Workload,
+    synthesize_wl1,
+    synthesize_wl2,
+    synthesize_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DareConfig",
+    "Policy",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "ClusterSpec",
+    "CCT_SPEC",
+    "EC2_SPEC",
+    "build_cluster",
+    "Workload",
+    "synthesize_wl1",
+    "synthesize_wl2",
+    "synthesize_workload",
+    "__version__",
+]

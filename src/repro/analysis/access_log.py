@@ -1,0 +1,211 @@
+"""Synthetic HDFS audit-log generation.
+
+Substitutes the Yahoo! production log (which is not redistributable) with a
+generator matching the paper's published findings:
+
+* heavy-tailed file popularity spanning ~4 decades of access counts
+  (Fig. 2);
+* strong temporal correlation — ~80 % of a file's accesses within its
+  first day of life, median age near 10 h (Fig. 3);
+* per-file accesses arrive in *tight daily clusters* around a
+  characteristic hour (the cluster "is used mainly to perform different
+  types of analysis on a common (time-varying) data set"): "fresh" files
+  concentrate almost everything in the first occurrence (sub-hour 80 %
+  windows, Fig. 5), while "periodic" files are re-read every day with
+  slowly decaying intensity, producing the ~121 h spike of Fig. 4;
+* heavy-tailed file sizes (1 to ~1000 blocks of 128 MB).
+
+System files (job.jar, job.xml, job.split) are *not* generated, matching
+the paper's explicit exclusion of them from the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+import numpy as np
+
+#: hours in the analysis window (the paper analyzes one week)
+WEEK_HOURS = 168.0
+
+
+class LogParams(NamedTuple):
+    """Shape parameters of the synthetic audit log."""
+
+    n_files: int = 3000
+    #: Zipf exponent of per-file total access counts
+    zipf_s: float = 1.3
+    #: access count of the most popular file
+    top_accesses: int = 30_000
+    #: file temporal classes: P(fresh), P(daily-decaying); remainder is
+    #: steady-periodic (re-read every day of the week, ~uniform intensity)
+    class_probs: tuple = (0.72, 0.18)
+    #: fresh files: day-over-day intensity decay factor range
+    fresh_decay: tuple = (0.02, 0.30)
+    #: daily-decaying files: decay factor range
+    daily_decay: tuple = (0.55, 0.85)
+    #: steady-periodic files: decay factor range (near 1 = uniform week)
+    steady_decay: tuple = (0.96, 1.0)
+    #: std.dev. of the within-cluster access time (hours)
+    cluster_sigma_h: float = 0.30
+    #: fraction of files whose hot hour trails creation immediately
+    pipeline_fraction: float = 0.35
+    #: immediate-pipeline delay: exponential mean (hours)
+    pipeline_mean_h: float = 3.0
+    #: log-normal file size (in 128 MB blocks): mu, sigma of log
+    blocks_mu: float = 1.0
+    blocks_sigma: float = 1.4
+    #: hours over which files are created (rest of the week only re-reads)
+    creation_span_h: float = 120.0
+    #: number of shared analysis "pipelines"; periodic files belonging to
+    #: the same pipeline are re-read at the same hour (the co-access
+    #: correlation of Section III)
+    n_pipelines: int = 8
+
+
+class LogEntry(NamedTuple):
+    """One audit-log line (reads only — HDFS files are immutable)."""
+
+    time_h: float
+    file_id: int
+
+
+class AccessLog:
+    """Column-oriented audit log with per-file metadata."""
+
+    def __init__(
+        self,
+        times_h: np.ndarray,
+        file_ids: np.ndarray,
+        created_h: np.ndarray,
+        n_blocks: np.ndarray,
+    ) -> None:
+        if times_h.shape != file_ids.shape:
+            raise ValueError("times and file ids must align")
+        if created_h.shape != n_blocks.shape:
+            raise ValueError("per-file arrays must align")
+        order = np.argsort(times_h, kind="stable")
+        self.times_h = times_h[order]
+        self.file_ids = file_ids[order]
+        self.created_h = created_h
+        self.n_blocks = n_blocks
+
+    @property
+    def n_accesses(self) -> int:
+        """Total log entries."""
+        return int(self.times_h.size)
+
+    @property
+    def n_files(self) -> int:
+        """Distinct files in the namespace."""
+        return int(self.created_h.size)
+
+    def access_counts(self) -> np.ndarray:
+        """Accesses per file id (0 for never-read files)."""
+        return np.bincount(self.file_ids, minlength=self.n_files)
+
+    def ages_at_access(self) -> np.ndarray:
+        """File age (hours) at each access — the Fig. 3 sample."""
+        return self.times_h - self.created_h[self.file_ids]
+
+    def entries(self) -> List[LogEntry]:
+        """Row view (tests and small-scale inspection only)."""
+        return [
+            LogEntry(float(t), int(f)) for t, f in zip(self.times_h, self.file_ids)
+        ]
+
+    def slice_hours(self, start_h: float, end_h: float) -> "AccessLog":
+        """Entries within [start_h, end_h) — used for the Fig. 5 day slice."""
+        mask = (self.times_h >= start_h) & (self.times_h < end_h)
+        return AccessLog(
+            self.times_h[mask], self.file_ids[mask], self.created_h, self.n_blocks
+        )
+
+
+def generate_access_log(
+    rng: np.random.Generator, params: LogParams = LogParams()
+) -> AccessLog:
+    """Generate one week of synthetic audit log."""
+    n = params.n_files
+    ranks = np.arange(1, n + 1, dtype=float)
+    counts = np.maximum(1, np.round(params.top_accesses * ranks ** (-params.zipf_s)))
+    counts = counts.astype(np.int64)
+    # shuffle which file id holds which rank (ids carry no popularity info)
+    counts = counts[rng.permutation(n)]
+
+    created = rng.uniform(0.0, params.creation_span_h, size=n)
+    n_blocks = np.maximum(
+        1, np.round(rng.lognormal(params.blocks_mu, params.blocks_sigma, size=n))
+    ).astype(np.int64)
+
+    rank_by_count = np.empty(n, dtype=np.int64)
+    rank_by_count[np.argsort(counts)[::-1]] = np.arange(1, n + 1)
+
+    # first read occurrence: some files feed an immediate pipeline, the
+    # rest wait for a batch job at an unrelated hour of the day.  The
+    # hottest files are read by scheduled analyses spread over the day,
+    # never by a single immediate pipeline.
+    is_pipeline = (rng.random(n) < params.pipeline_fraction) & (rank_by_count > 10)
+    first_delay = np.where(
+        is_pipeline,
+        rng.exponential(params.pipeline_mean_h, size=n),
+        rng.uniform(0.0, 24.0, size=n),
+    )
+    # the hottest files feed same-day analyses: their first read lands
+    # within the working hours after the data arrives
+    first_delay = np.where(rank_by_count <= 10, rng.uniform(0.5, 14.0, size=n), first_delay)
+    first_occurrence = created + first_delay
+
+    # temporal class: fresh burst / daily-decaying / steady-periodic.
+    # Steady re-reading concentrates in the moderately popular band (the
+    # shared data sets), not the very hottest files (which are the daily
+    # *new* versions of the common data set, each read in a fresh burst).
+    u = rng.random(n)
+    p_fresh, p_daily = params.class_probs
+    in_band = (rank_by_count >= 4) & (rank_by_count <= 100)
+    p_steady = np.where(in_band, 1.0 - p_fresh - p_daily + 0.22, 0.03)
+    is_steady = u < p_steady
+    is_fresh = ~is_steady & (u < p_steady + p_fresh)
+    is_daily = ~is_steady & ~is_fresh
+    # the very hottest files are the daily *new* versions of the common
+    # data set: always a fresh burst, never re-read for long
+    is_daily &= rank_by_count > 3
+    is_fresh |= (rank_by_count <= 3) & ~is_steady
+    decay = np.empty(n)
+    decay[is_fresh] = rng.uniform(*params.fresh_decay, size=int(is_fresh.sum()))
+    decay[is_daily] = rng.uniform(*params.daily_decay, size=int(is_daily.sum()))
+    decay[is_steady] = rng.uniform(*params.steady_decay, size=int(is_steady.sum()))
+    # the steadily re-read data sets are loaded at the start of the week
+    created = np.where(is_steady, rng.uniform(0.0, 24.0, size=n), created)
+    first_occurrence = created + first_delay
+
+    # periodic files belong to shared analysis pipelines: every file of a
+    # pipeline is re-read at (nearly) the same hour of the day, which is
+    # what correlates accesses across files (Section III)
+    pipeline_hours = rng.uniform(0.0, 24.0, size=params.n_pipelines)
+    pipeline_of = rng.integers(0, params.n_pipelines, size=n)
+    hot_hour = pipeline_hours[pipeline_of] + rng.normal(0.0, 0.2, size=n)
+    is_periodic = is_daily | is_steady
+    delay_to_hot = (hot_hour - created) % 24.0
+    first_occurrence = np.where(is_periodic, created + delay_to_hot, first_occurrence)
+
+    times_parts: List[np.ndarray] = []
+    ids_parts: List[np.ndarray] = []
+    for fid in range(n):
+        c = int(counts[fid])
+        t_first = first_occurrence[fid]
+        # daily occurrences until the week ends, intensity decaying by
+        # `decay` each day
+        n_days = max(1, int(np.ceil((WEEK_HOURS - t_first) / 24.0)))
+        day_weights = decay[fid] ** np.arange(n_days)
+        day_weights /= day_weights.sum()
+        day = rng.choice(n_days, size=c, p=day_weights)
+        t = t_first + day * 24.0 + rng.normal(0.0, params.cluster_sigma_h, size=c)
+        t = np.clip(t, created[fid] + 1e-3, None)
+        t = t[t < WEEK_HOURS]
+        times_parts.append(t)
+        ids_parts.append(np.full(t.size, fid, dtype=np.int64))
+
+    times = np.concatenate(times_parts)
+    ids = np.concatenate(ids_parts)
+    return AccessLog(times, ids, created, n_blocks)

@@ -1,0 +1,108 @@
+"""Access-correlation analysis.
+
+Section III's second finding (beyond skewed popularity) is "considerable
+correlation among accesses to different files": the same analyses re-read
+groups of files together, daily, so their access time series move in
+lockstep.  This is what motivates DARE's *placement* goal — files accessed
+concurrently should not pile onto the same nodes.
+
+The analysis bins each file's accesses into hourly counts, computes the
+Pearson correlation between the hot files' series, and extracts co-access
+groups (files whose pairwise correlation exceeds a threshold, grouped
+greedily).  On the synthetic log, steady-periodic files sharing a hot hour
+form exactly such groups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.access_log import WEEK_HOURS, AccessLog
+from repro.analysis.patterns import big_files
+
+
+def hourly_series(
+    log: AccessLog, file_ids: Sequence[int], slot_hours: float = 1.0
+) -> np.ndarray:
+    """Per-file hourly access counts; shape (len(file_ids), n_slots)."""
+    n_slots = int(np.ceil(WEEK_HOURS / slot_hours))
+    edges = np.arange(n_slots + 1) * slot_hours
+    out = np.zeros((len(file_ids), n_slots))
+    for row, fid in enumerate(file_ids):
+        t = log.times_h[log.file_ids == fid]
+        out[row], _ = np.histogram(t, bins=edges)
+    return out
+
+
+def correlation_matrix(series: np.ndarray) -> np.ndarray:
+    """Pearson correlations between file series (zero-variance rows -> 0)."""
+    if series.ndim != 2 or series.shape[0] < 2:
+        raise ValueError("need at least two series")
+    std = series.std(axis=1)
+    safe = series.copy()
+    # zero-variance rows would produce NaNs; they correlate with nothing
+    zero = std == 0
+    with np.errstate(invalid="ignore"):
+        corr = np.corrcoef(safe)
+    corr = np.nan_to_num(corr, nan=0.0)
+    corr[zero, :] = 0.0
+    corr[:, zero] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+class CorrelationSummary(NamedTuple):
+    """Headline numbers of the co-access analysis."""
+
+    n_files: int
+    mean_pairwise: float
+    #: fraction of pairs with correlation above 0.5 ("considerable")
+    strong_fraction: float
+    #: greedily extracted co-access groups (lists of file ids)
+    groups: Tuple[Tuple[int, ...], ...]
+
+
+def co_access_groups(
+    file_ids: Sequence[int], corr: np.ndarray, threshold: float = 0.5
+) -> List[List[int]]:
+    """Greedy grouping: a file joins a group when its correlation with the
+    group's seed exceeds ``threshold``."""
+    remaining = list(range(len(file_ids)))
+    groups: List[List[int]] = []
+    while remaining:
+        seed = remaining.pop(0)
+        group = [seed]
+        keep = []
+        for j in remaining:
+            if corr[seed, j] >= threshold:
+                group.append(j)
+            else:
+                keep.append(j)
+        remaining = keep
+        groups.append([int(file_ids[i]) for i in group])
+    return groups
+
+
+def analyze_correlation(
+    log: AccessLog,
+    top_files: int = 40,
+    threshold: float = 0.5,
+    slot_hours: float = 1.0,
+) -> CorrelationSummary:
+    """Full pipeline: pick the hot files, correlate, group, summarize."""
+    chosen = big_files(log)[:top_files]
+    if len(chosen) < 2:
+        raise ValueError("not enough hot files for a correlation analysis")
+    series = hourly_series(log, chosen, slot_hours)
+    corr = correlation_matrix(series)
+    iu = np.triu_indices(len(chosen), 1)
+    pairwise = corr[iu]
+    groups = co_access_groups(chosen, corr, threshold)
+    return CorrelationSummary(
+        n_files=len(chosen),
+        mean_pairwise=float(pairwise.mean()),
+        strong_fraction=float((pairwise >= threshold).mean()),
+        groups=tuple(tuple(g) for g in groups if len(g) > 1),
+    )

@@ -1,0 +1,110 @@
+"""Section III analyses: popularity, temporal correlation, burst windows."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.access_log import WEEK_HOURS, AccessLog
+
+
+def popularity_by_rank(log: AccessLog, weighted: bool = False) -> np.ndarray:
+    """Access counts sorted by rank, most popular first (Fig. 2).
+
+    With ``weighted=True`` each file's count is multiplied by its number of
+    128 MB blocks (the lower panel of Fig. 2).
+    """
+    counts = log.access_counts().astype(float)
+    if weighted:
+        counts = counts * log.n_blocks
+    counts = counts[counts > 0]
+    return np.sort(counts)[::-1]
+
+
+def age_at_access_cdf(
+    log: AccessLog, grid_hours: np.ndarray
+) -> np.ndarray:
+    """CDF of file age at access evaluated on ``grid_hours`` (Fig. 3)."""
+    ages = log.ages_at_access()
+    if ages.size == 0:
+        raise ValueError("empty access log")
+    ages = np.sort(ages)
+    return np.searchsorted(ages, grid_hours, side="right") / ages.size
+
+
+def median_age_hours(log: AccessLog) -> float:
+    """Median file age at access (the paper reports ~9 h 45 m)."""
+    return float(np.median(log.ages_at_access()))
+
+
+def big_files(log: AccessLog, coverage: float = 0.8) -> np.ndarray:
+    """File ids that together account for ``coverage`` of all accesses.
+
+    The paper's Fig. 4/5 restrict the window analysis to these "big files"
+    (files responsible for 80 % or more of the total accesses).
+    """
+    counts = log.access_counts()
+    order = np.argsort(counts)[::-1]
+    cum = np.cumsum(counts[order])
+    cutoff = int(np.searchsorted(cum, coverage * cum[-1], side="left")) + 1
+    chosen = order[:cutoff]
+    return chosen[counts[chosen] > 0]
+
+
+def _smallest_window(hist: np.ndarray, fraction: float) -> int:
+    """Smallest number of consecutive slots holding >= fraction of mass.
+
+    Binary-searches the window size; the max window sum is monotone in the
+    window length, so the search is exact.
+    """
+    total = hist.sum()
+    if total <= 0:
+        raise ValueError("file has no accesses in the histogram")
+    target = fraction * total
+    cs = np.concatenate([[0], np.cumsum(hist)])
+    lo, hi = 1, hist.size
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if (cs[mid:] - cs[:-mid]).max() >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def window_distribution(
+    log: AccessLog,
+    slot_hours: float = 1.0,
+    fraction: float = 0.8,
+    coverage: float = 0.8,
+    weighted: bool = False,
+    start_h: float = 0.0,
+    end_h: float = WEEK_HOURS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distribution of the smallest 80 %-access window (Figs. 4 and 5).
+
+    Returns ``(window_sizes, fraction_of_files)`` where
+    ``fraction_of_files[i]`` is the fraction of big files whose smallest
+    window equals ``window_sizes[i]`` slots.  With ``weighted=True`` files
+    are weighted by their access counts (the (b) panels).  Restricting
+    ``[start_h, end_h)`` to one day gives Fig. 5.
+    """
+    sub = log.slice_hours(start_h, end_h)
+    chosen = big_files(sub, coverage)
+    n_slots = int(np.ceil((end_h - start_h) / slot_hours))
+    edges = start_h + np.arange(n_slots + 1) * slot_hours
+    windows = []
+    weights = []
+    for fid in chosen:
+        t = sub.times_h[sub.file_ids == fid]
+        hist, _ = np.histogram(t, bins=edges)
+        windows.append(_smallest_window(hist, fraction))
+        weights.append(t.size if weighted else 1)
+    windows = np.asarray(windows)
+    weights = np.asarray(weights, dtype=float)
+    sizes = np.arange(1, n_slots + 1)
+    mass = np.zeros(n_slots)
+    for w, wt in zip(windows, weights):
+        mass[w - 1] += wt
+    return sizes, mass / weights.sum()

@@ -1,0 +1,15 @@
+"""Baseline replication systems the paper compares against.
+
+Scarlett [Ananthanarayanan et al., EuroSys'11] is the paper's closest
+related work: an *off-line, epoch-based* system that periodically computes
+per-file replication factors from the previous epoch's popularity and
+rebalances replicas proactively.  The paper argues DARE's *reactive*
+approach adapts at smaller time scales and costs no replication traffic;
+implementing Scarlett makes that comparison runnable
+(``benchmarks/test_ablation_scarlett.py``).
+"""
+
+from repro.baselines.cdrm import CdrmConfig, CdrmService
+from repro.baselines.scarlett import ScarlettConfig, ScarlettService
+
+__all__ = ["CdrmConfig", "CdrmService", "ScarlettConfig", "ScarlettService"]

@@ -1,0 +1,296 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflows::
+
+    python -m repro probe                      # Tables I-II, Fig. 1
+    python -m repro analyze                    # Section III log analyses
+    python -m repro run --workload wl1 --scheduler fifo --policy et
+    python -m repro synth --workload wl2 --jobs 300 --out wl2.json
+    python -m repro figures --jobs 200 --only fig7,fig11
+
+``run`` accepts built-in workload names (wl1/wl2), a saved workload JSON,
+or a SWIM-format TSV trace, and can inject node failures or enable the
+Scarlett baseline for comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.scarlett import ScarlettConfig
+from repro.cluster.cluster import CCT_SPEC, EC2_SPEC
+from repro.core.config import DareConfig
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.workloads.swim import Workload, synthesize_wl1, synthesize_wl2
+
+_CLUSTERS = {"cct": CCT_SPEC, "ec2": EC2_SPEC}
+
+
+def _policy(args: argparse.Namespace) -> DareConfig:
+    if args.policy == "off":
+        return DareConfig.off()
+    if args.policy == "lru":
+        return DareConfig.greedy_lru(budget=args.budget)
+    if args.policy == "et":
+        return DareConfig.elephant_trap(
+            p=args.p, threshold=args.threshold, budget=args.budget
+        )
+    raise SystemExit(f"unknown policy {args.policy!r}")
+
+
+def _workload(args: argparse.Namespace) -> Workload:
+    rng = np.random.default_rng(args.seed)
+    name = args.workload
+    if name == "wl1":
+        return synthesize_wl1(rng, n_jobs=args.jobs)
+    if name == "wl2":
+        return synthesize_wl2(rng, n_jobs=args.jobs)
+    if name.endswith(".json"):
+        from repro.workloads.swim_io import load_workload
+
+        return load_workload(name)
+    if name.endswith((".tsv", ".txt")):
+        from repro.workloads.swim_io import load_swim_trace
+
+        return load_swim_trace(name, rng)
+    raise SystemExit(
+        f"unknown workload {name!r} (expected wl1, wl2, *.json, or *.tsv)"
+    )
+
+
+def _parse_failures(items: List[str]):
+    out = []
+    for item in items:
+        try:
+            t, node = item.split(":")
+            out.append((float(t), int(node)))
+        except ValueError:
+            raise SystemExit(f"bad --fail spec {item!r}; expected TIME:NODE")
+    return tuple(out)
+
+
+# -- subcommands -------------------------------------------------------------
+
+
+def cmd_probe(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import (
+        bandwidth_ratios,
+        fig1_hop_distribution,
+        print_table1,
+        print_table2,
+        table1_rtt,
+        table2_bandwidth,
+    )
+
+    print_table1(table1_rtt(args.seed))
+    print()
+    print_table2(table2_bandwidth(args.seed))
+    ratios = bandwidth_ratios(args.seed)
+    print(f"\nnet/disk ratio: cct={ratios['cct']:.3f} ec2={ratios['ec2']:.3f}")
+    print("\nEC2 hop-count distribution:")
+    for h, frac in enumerate(fig1_hop_distribution(args.seed)):
+        if frac > 0:
+            print(f"  {h:>2d} hops: {frac:.3f}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import generate_access_log
+    from repro.analysis.patterns import (
+        age_at_access_cdf,
+        median_age_hours,
+        popularity_by_rank,
+        window_distribution,
+    )
+
+    log = generate_access_log(np.random.default_rng(args.seed))
+    print(f"audit log: {log.n_accesses} accesses to {log.n_files} files")
+    pop = popularity_by_rank(log)
+    print(f"popularity: rank1={pop[0]:.0f} rank100={pop[min(99, len(pop)-1)]:.0f}")
+    cdf = age_at_access_cdf(log, np.array([1.0, 24.0, 168.0]))
+    print(f"age CDF @1h/1d/1w: {cdf[0]:.2f}/{cdf[1]:.2f}/{cdf[2]:.2f} "
+          f"(median {median_age_hours(log):.1f}h)")
+    _, frac = window_distribution(log)
+    print(f"80% windows: <=2h {frac[:2].sum():.2f}, daily spike {frac[112:130].sum():.2f}")
+    from repro.analysis.correlation import analyze_correlation
+
+    summary = analyze_correlation(log)
+    sizes = sorted((len(g) for g in summary.groups), reverse=True)
+    print(f"co-access groups among hot files: {len(summary.groups)} "
+          f"(sizes {sizes[:5]}), background corr {summary.mean_pairwise:+.2f}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = _workload(args)
+    scarlett = (
+        ScarlettConfig(epoch_s=args.scarlett_epoch, budget=args.budget)
+        if args.scarlett
+        else None
+    )
+    config = ExperimentConfig(
+        cluster_spec=_CLUSTERS[args.cluster],
+        scheduler=args.scheduler,
+        dare=_policy(args),
+        seed=args.seed,
+        scarlett=scarlett,
+        failures=_parse_failures(args.fail),
+    )
+    result = run_experiment(config, workload)
+    print(result.summary_row())
+    print(f"  cluster locality: {result.locality.locality:.3f} "
+          f"({result.locality.node_local}/{result.locality.total} map tasks)")
+    print(f"  mean map time:    {result.mean_map_s:.2f}s")
+    print(f"  makespan:         {result.makespan_s:.0f}s")
+    print(f"  cv before/after:  {result.cv_before:.3f} / {result.cv_after:.3f}")
+    if result.blocks_created:
+        print(f"  replicas created: {result.blocks_created} "
+              f"(evicted {result.blocks_evicted})")
+    if result.scarlett_replicas_created:
+        print(f"  scarlett replicas: {result.scarlett_replicas_created}")
+    if config.failures:
+        print(f"  failures: {len(config.failures)} nodes; "
+              f"{result.blocks_lost_replicas} blocks lost replicas, "
+              f"{result.repairs_completed} repaired, "
+              f"{result.data_loss_blocks} lost forever, "
+              f"{result.tasks_requeued} task attempts requeued")
+    print("  network traffic (GB): " + ", ".join(
+        f"{k}={v / 1e9:.1f}" for k, v in result.traffic_bytes.items() if v
+    ))
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    from repro.workloads.swim_io import save_workload
+
+    workload = _workload(args)
+    if args.out:
+        save_workload(workload, args.out)
+        print(f"wrote {workload.n_jobs} jobs / {len(workload.catalog)} files "
+              f"to {args.out}")
+    if args.stats or not args.out:
+        from repro.workloads.stats import compute_stats
+
+        print(compute_stats(workload).report())
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import figures as F
+    from repro.experiments.figures import print_fig7, print_sweep
+
+    only = set(args.only.split(",")) if args.only else None
+
+    def want(tag: str) -> bool:
+        return only is None or tag in only
+
+    if want("fig7"):
+        print_fig7(F.fig7_cct(n_jobs=args.jobs))
+    if want("fig8"):
+        print_sweep(F.fig8a_p_sweep(n_jobs=args.jobs), "p")
+        print_sweep(F.fig8b_threshold_sweep(n_jobs=args.jobs), "threshold")
+    if want("fig9"):
+        print_sweep(F.fig9a_budget_sweep_lru(n_jobs=args.jobs), "budget")
+    if want("fig10"):
+        print_fig7(F.fig10_ec2(n_jobs=args.jobs), "Fig. 10 (EC2)")
+    if want("fig11"):
+        for pt in F.fig11_uniformity(n_jobs=args.jobs):
+            print(f"p={pt.p:.1f} cv {pt.cv_before:.3f} -> {pt.cv_after:.3f}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    paths = write_report(args.out, n_jobs=args.jobs, seed=args.seed)
+    for kind, path in paths.items():
+        print(f"wrote {kind}: {path}")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from repro.viz.paper_figures import render_all
+
+    paths = render_all(args.out, n_jobs=args.jobs, seed=args.seed)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+# -- entry point ----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DARE (CLUSTER 2011) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("probe", help="cluster measurements (Tables I-II, Fig. 1)")
+    p.add_argument("--seed", type=int, default=20110926)
+    p.set_defaults(func=cmd_probe)
+
+    p = sub.add_parser("analyze", help="audit-log analyses (Figs. 2-5)")
+    p.add_argument("--seed", type=int, default=20110926)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("run", help="run one cluster experiment")
+    p.add_argument("--workload", default="wl1",
+                   help="wl1, wl2, a saved .json, or a SWIM .tsv")
+    p.add_argument("--jobs", type=int, default=200)
+    p.add_argument("--cluster", choices=sorted(_CLUSTERS), default="cct")
+    p.add_argument("--scheduler", choices=("fifo", "fair", "fair-skip"), default="fifo")
+    p.add_argument("--policy", choices=("off", "lru", "et"), default="et")
+    p.add_argument("--p", type=float, default=0.3, help="ElephantTrap probability")
+    p.add_argument("--threshold", type=int, default=1)
+    p.add_argument("--budget", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=20110926)
+    p.add_argument("--scarlett", action="store_true",
+                   help="enable the epoch-based proactive baseline")
+    p.add_argument("--scarlett-epoch", type=float, default=600.0)
+    p.add_argument("--fail", action="append", default=[],
+                   metavar="TIME:NODE", help="inject a node failure")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("synth", help="synthesize, inspect, and save a workload")
+    p.add_argument("--workload", default="wl1")
+    p.add_argument("--jobs", type=int, default=500)
+    p.add_argument("--seed", type=int, default=20110926)
+    p.add_argument("--out", default="", help="save to this JSON path")
+    p.add_argument("--stats", action="store_true",
+                   help="print descriptive statistics")
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("figures", help="regenerate evaluation figures")
+    p.add_argument("--jobs", type=int, default=200)
+    p.add_argument("--only", default="", help="comma list: fig7,fig8,fig9,fig10,fig11")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("render", help="render every figure to SVG files")
+    p.add_argument("--jobs", type=int, default=200)
+    p.add_argument("--seed", type=int, default=20110926)
+    p.add_argument("--out", default="figures_svg")
+    p.set_defaults(func=cmd_render)
+
+    p = sub.add_parser("report", help="run everything; write results.json + REPORT.md")
+    p.add_argument("--jobs", type=int, default=200)
+    p.add_argument("--seed", type=int, default=20110926)
+    p.add_argument("--out", default="results")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

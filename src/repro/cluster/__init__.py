@@ -1,0 +1,40 @@
+"""Cluster substrate: machines, racks, topology, network and disk models.
+
+This package stands in for the two physical testbeds of the paper:
+
+* **CCT** — a dedicated, single-rack 20-node cluster (1 master + 19 slaves)
+  with Gigabit Ethernet and fast local disks;
+* **EC2** — a virtualized 100-node public-cloud cluster (1 master + 99
+  slaves) on small instances, with nodes scattered across racks, higher and
+  more variable RTTs, and lower effective network bandwidth.
+
+The stochastic models are calibrated to the paper's Tables I and II and the
+hop-count distribution of Figure 1, and are *probed* by simulated analogues
+of ``ping``, ``hdparm`` and ``iperf`` (see :mod:`repro.cluster.probes`).
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Topology, DEDICATED, VIRTUALIZED
+from repro.cluster.network import NetworkModel, NetworkParams, CCT_NETWORK, EC2_NETWORK
+from repro.cluster.disk import DiskModel, DiskParams, CCT_DISK, EC2_DISK
+from repro.cluster.cluster import Cluster, ClusterSpec, CCT_SPEC, EC2_SPEC, build_cluster
+
+__all__ = [
+    "Node",
+    "Topology",
+    "DEDICATED",
+    "VIRTUALIZED",
+    "NetworkModel",
+    "NetworkParams",
+    "CCT_NETWORK",
+    "EC2_NETWORK",
+    "DiskModel",
+    "DiskParams",
+    "CCT_DISK",
+    "EC2_DISK",
+    "Cluster",
+    "ClusterSpec",
+    "CCT_SPEC",
+    "EC2_SPEC",
+    "build_cluster",
+]

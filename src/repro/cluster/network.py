@@ -1,0 +1,169 @@
+"""Network model: RTT and pairwise streaming bandwidth.
+
+Calibration targets (paper, Tables I and II):
+
+=====================  ======  ======  ======  =========
+quantity                min     mean    max     std.dev.
+=====================  ======  ======  ======  =========
+CCT RTT (ms)            0.01    0.18    2.17    0.34
+EC2 RTT (ms)            0.02    0.77    75.1    3.36
+CCT net bw (MB/s)       115.4   117.7   118.0   0.65
+EC2 net bw (MB/s)       5.8     73.2    109.9   16.9
+=====================  ======  ======  ======  =========
+
+The RTT model is ``per_hop_latency * hops + jitter`` where jitter is
+lognormal; the virtualized model additionally suffers rare large
+processor-sharing delays (Wang & Ng, INFOCOM'10), giving the 75 ms outliers
+and the heavy-tailed std.dev.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.cluster.topology import Topology
+
+
+class NetworkParams(NamedTuple):
+    """Parameters of the stochastic network model for one cluster family."""
+
+    #: propagation+switching latency per hop, ms
+    per_hop_ms: float
+    #: lognormal jitter: underlying normal mean (of log ms)
+    jitter_mu: float
+    #: lognormal jitter: underlying normal sigma
+    jitter_sigma: float
+    #: probability a probe hits a processor-sharing stall (virtualized)
+    stall_prob: float
+    #: stall magnitude, exponential mean in ms
+    stall_mean_ms: float
+    #: streaming bandwidth, MB/s: mean of the per-pair distribution
+    bw_mean: float
+    #: streaming bandwidth, MB/s: std.dev.
+    bw_sigma: float
+    #: bandwidth floor (congested/shared pairs), MB/s
+    bw_min: float
+    #: bandwidth ceiling (NIC line rate), MB/s
+    bw_max: float
+    #: probability that a pair is badly degraded (virtualized noisy neighbor)
+    degraded_prob: float
+    #: degraded pairs: uniform range low, MB/s
+    degraded_low: float
+    #: degraded pairs: uniform range high, MB/s
+    degraded_high: float
+    #: cross-rack bandwidth divisor (fabric oversubscription; 1 = none)
+    cross_rack_factor: float = 1.0
+
+
+#: Gigabit Ethernet, single rack, no virtualization.
+CCT_NETWORK = NetworkParams(
+    per_hop_ms=0.045,
+    jitter_mu=np.log(0.07),
+    jitter_sigma=1.1,
+    stall_prob=0.0,
+    stall_mean_ms=0.0,
+    bw_mean=117.7,
+    bw_sigma=0.5,
+    bw_min=115.4,
+    bw_max=118.0,
+    degraded_prob=0.0,
+    degraded_low=0.0,
+    degraded_high=0.0,
+)
+
+#: EC2 m1.small, "moderate I/O performance", multi-rack, shared hosts.
+EC2_NETWORK = NetworkParams(
+    per_hop_ms=0.055,
+    jitter_mu=np.log(0.28),
+    jitter_sigma=1.0,
+    stall_prob=0.004,
+    stall_mean_ms=28.0,
+    bw_mean=76.0,
+    bw_sigma=13.0,
+    bw_min=5.8,
+    bw_max=109.9,
+    degraded_prob=0.03,
+    degraded_low=5.8,
+    degraded_high=30.0,
+)
+
+
+class NetworkModel:
+    """Samples RTTs and pairwise bandwidths over a :class:`Topology`.
+
+    Pairwise *bandwidths* are sampled once at construction (paths and the
+    neighbours sharing them are stable properties of an allocation), while
+    *RTT probes* are sampled per call (they see transient queueing and
+    scheduler stalls, which is exactly what Table I's max/σ capture).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: NetworkParams,
+        rng: np.random.Generator,
+    ) -> None:
+        self.topology = topology
+        self.params = params
+        self._rng = rng
+        n = topology.n_nodes
+        self._pair_bw = self._sample_pair_bandwidths(n)
+
+    def _sample_pair_bandwidths(self, n: int) -> np.ndarray:
+        p = self.params
+        bw = self._rng.normal(p.bw_mean, p.bw_sigma, size=(n, n))
+        if p.degraded_prob > 0:
+            mask = self._rng.random((n, n)) < p.degraded_prob
+            bw[mask] = self._rng.uniform(p.degraded_low, p.degraded_high, size=int(mask.sum()))
+        bw = np.clip(bw, p.bw_min, p.bw_max)
+        if p.cross_rack_factor > 1.0:
+            racks = self.topology.rack_of
+            cross = racks[:, None] != racks[None, :]
+            bw = np.where(cross, bw / p.cross_rack_factor, bw)
+        bw = np.triu(bw, 1)
+        bw = bw + bw.T
+        np.fill_diagonal(bw, np.inf)  # loopback: never the bottleneck
+        return bw
+
+    # -- sampling ----------------------------------------------------------
+
+    def rtt_ms(self, a: int, b: int) -> float:
+        """One ping-style RTT sample between nodes ``a`` and ``b`` (ms)."""
+        if a == b:
+            return 0.01
+        p = self.params
+        hops = self.topology.hops(a, b)
+        rtt = p.per_hop_ms * hops
+        rtt += float(self._rng.lognormal(p.jitter_mu, p.jitter_sigma))
+        if p.stall_prob > 0 and self._rng.random() < p.stall_prob:
+            rtt += float(self._rng.exponential(p.stall_mean_ms))
+        return rtt
+
+    def rtt_matrix(self, samples_per_pair: int = 1) -> np.ndarray:
+        """All-to-all RTT samples; shape (pairs*samples,). Used by Table I."""
+        n = self.topology.n_nodes
+        out = []
+        for _ in range(samples_per_pair):
+            for a in range(n):
+                for b in range(n):
+                    if a != b:
+                        out.append(self.rtt_ms(a, b))
+        return np.asarray(out)
+
+    def bandwidth_mbps(self, a: int, b: int) -> float:
+        """Steady-state streaming bandwidth between ``a`` and ``b`` (MB/s)."""
+        return float(self._pair_bw[a, b])
+
+    def transfer_seconds(self, nbytes: int, a: int, b: int, contention: int = 1) -> float:
+        """Time to move ``nbytes`` from ``a`` to ``b``.
+
+        ``contention`` is the number of flows sharing the bottleneck
+        (fair-share approximation).  Latency contributes one RTT of setup.
+        """
+        if a == b:
+            return 0.0
+        bw = self._pair_bw[a, b] / max(1, contention)
+        setup = self.rtt_ms(a, b) / 1000.0
+        return float(nbytes) / (bw * 1e6) + setup

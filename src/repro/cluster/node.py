@@ -1,0 +1,71 @@
+"""A cluster machine."""
+
+from __future__ import annotations
+
+
+class Node:
+    """One machine in the cluster.
+
+    A node has a rack assignment, per-node disk and network characteristics
+    (sampled once at cluster construction, the way real heterogeneous
+    hardware differs machine-to-machine), and MapReduce slot counts.
+
+    Transfer-level contention is tracked with simple counters
+    (:attr:`active_net_transfers`, :attr:`active_disk_reads`) that the time
+    model consults when estimating read durations.
+    """
+
+    __slots__ = (
+        "node_id",
+        "rack",
+        "hostname",
+        "disk_bw_mbps",
+        "net_bw_mbps",
+        "map_slots",
+        "reduce_slots",
+        "storage_bytes",
+        "active_net_transfers",
+        "active_disk_reads",
+        "is_master",
+        "alive",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        rack: int,
+        disk_bw_mbps: float,
+        net_bw_mbps: float,
+        map_slots: int = 2,
+        reduce_slots: int = 2,
+        storage_bytes: int = 2 * 10**12,
+        is_master: bool = False,
+    ) -> None:
+        if disk_bw_mbps <= 0 or net_bw_mbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if map_slots < 0 or reduce_slots < 0:
+            raise ValueError("slot counts must be nonnegative")
+        self.node_id = node_id
+        self.rack = rack
+        self.hostname = f"node{node_id:03d}"
+        self.disk_bw_mbps = disk_bw_mbps
+        self.net_bw_mbps = net_bw_mbps
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+        self.storage_bytes = storage_bytes
+        self.active_net_transfers = 0
+        self.active_disk_reads = 0
+        self.is_master = is_master
+        self.alive = True
+
+    def effective_disk_bw(self) -> float:
+        """Disk bandwidth under current contention (fair-shared, MB/s)."""
+        return self.disk_bw_mbps / max(1, self.active_disk_reads)
+
+    def effective_net_bw(self) -> float:
+        """Network bandwidth under current contention (fair-shared, MB/s)."""
+        return self.net_bw_mbps / max(1, self.active_net_transfers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "master" if self.is_master else "slave"
+        return f"<Node {self.hostname} rack={self.rack} {role}>"

@@ -1,0 +1,99 @@
+"""Measurement probes: simulated ping / hdparm / iperf / traceroute.
+
+These reproduce the methodology of Section II-B: the paper ran ``ping`` for
+all-to-all RTTs (Table I), ``hdparm`` for disk read bandwidth and ``iperf``
+for network bandwidth (Table II), and ``traceroute`` for inter-node distance
+(Figure 1).  Each probe here runs the same experiment against the simulated
+cluster and returns the same summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.disk import DiskModel
+
+
+class SummaryStats(NamedTuple):
+    """min / mean / max / population std.dev — the columns of Tables I–II."""
+
+    min: float
+    mean: float
+    max: float
+    std: float
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "SummaryStats":
+        """Summarize a sample array."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            raise ValueError("empty sample")
+        return cls(
+            float(values.min()),
+            float(values.mean()),
+            float(values.max()),
+            float(values.std()),
+        )
+
+    def row(self, label: str, unit: str = "") -> str:
+        """Format as a printable table row."""
+        u = f" {unit}" if unit else ""
+        return (
+            f"{label:<28s} {self.min:8.2f}{u} {self.mean:8.2f}{u} "
+            f"{self.max:8.2f}{u} {self.std:8.2f}{u}"
+        )
+
+
+def ping_all_pairs(cluster: Cluster, samples_per_pair: int = 3) -> SummaryStats:
+    """All-to-all ping RTT summary (Table I)."""
+    rtts = cluster.network.rtt_matrix(samples_per_pair)
+    return SummaryStats.of(rtts)
+
+
+def measure_disk_bandwidth(cluster: Cluster, probes_per_node: int = 3) -> SummaryStats:
+    """hdparm-style sequential-read probes on every node (Table II)."""
+    model = DiskModel(cluster.spec.disk, cluster.streams.numpy("probe.disk"))
+    samples = [model.sample() for _ in range(probes_per_node * len(cluster.nodes))]
+    return SummaryStats.of(np.asarray(samples))
+
+
+def measure_network_bandwidth(cluster: Cluster) -> SummaryStats:
+    """iperf-style pairwise streaming bandwidth probes (Table II).
+
+    Probes every ordered pair once (the paper ran iperf between node pairs).
+    """
+    n = len(cluster.nodes)
+    out = []
+    for a in range(n):
+        for b in range(n):
+            if a != b:
+                out.append(cluster.network.bandwidth_mbps(a, b))
+    return SummaryStats.of(np.asarray(out))
+
+
+def traceroute_hop_histogram(cluster: Cluster, max_hops: int = 10) -> np.ndarray:
+    """Proportion of node pairs at each hop distance (Figure 1)."""
+    return cluster.topology.hop_histogram(max_hops)
+
+
+def bandwidth_ratio(cluster: Cluster) -> float:
+    """network-bandwidth / disk-bandwidth ratio for a cluster.
+
+    Section II-B's "key insight": this ratio is ~40% higher for CCT than
+    EC2, so the gain of local reads is larger on EC2.
+    """
+    net = measure_network_bandwidth(cluster).mean
+    disk = measure_disk_bandwidth(cluster).mean
+    return net / disk
+
+
+def probe_report(cluster: Cluster) -> Dict[str, SummaryStats]:
+    """All probes at once, keyed the way the tables label them."""
+    return {
+        "rtt_ms": ping_all_pairs(cluster),
+        "disk_bw_mbps": measure_disk_bandwidth(cluster),
+        "net_bw_mbps": measure_network_bandwidth(cluster),
+    }

@@ -1,0 +1,35 @@
+"""DARE — the paper's core contribution.
+
+Distributed, adaptive data replication that piggybacks on the remote reads
+non-data-local map tasks already perform.  Each slave node independently
+runs one of two replica-management policies:
+
+* :class:`~repro.core.greedy.GreedyLRUPolicy` — Algorithm 1: every remote
+  map read inserts a replica; eviction under the storage budget is least
+  recently used, never victimizing a block of the same file as the
+  incoming replica;
+* :class:`~repro.core.elephant_trap.ElephantTrapPolicy` — Algorithm 2: a
+  probabilistic adaptation of the ElephantTrap heavy-hitter detector.
+  Replication and access-count refresh each happen only with probability
+  *p*; eviction walks a circular list of dynamic replicas, halving access
+  counts (competitive aging) until a victim below *threshold* is found.
+
+:class:`~repro.core.manager.DareReplicationService` wires a policy instance
+per node into the map-task launch path and enforces the replication budget.
+"""
+
+from repro.core.config import DareConfig, Policy
+from repro.core.budget import ReplicationBudget
+from repro.core.greedy import GreedyLRUPolicy
+from repro.core.elephant_trap import ElephantTrapPolicy
+from repro.core.manager import DareReplicationService, NodeReplicaState
+
+__all__ = [
+    "DareConfig",
+    "Policy",
+    "ReplicationBudget",
+    "GreedyLRUPolicy",
+    "ElephantTrapPolicy",
+    "DareReplicationService",
+    "NodeReplicaState",
+]

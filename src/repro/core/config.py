@@ -1,0 +1,85 @@
+"""DARE configuration.
+
+The three tunables match the configuration parameters the paper added to
+Hadoop (Section V-A): the ElephantTrap sampling probability ``p``, the aging
+``threshold``, and the storage ``budget``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class Policy(enum.Enum):
+    """Which replica-management scheme a node runs."""
+
+    #: vanilla Hadoop — no dynamic replication
+    OFF = "off"
+    #: Algorithm 1 — greedy insertion, LRU eviction
+    GREEDY_LRU = "greedy-lru"
+    #: Algorithm 2 — probabilistic insertion, ElephantTrap aging eviction
+    ELEPHANT_TRAP = "elephant-trap"
+    #: ablation baseline — greedy insertion, least-frequently-used eviction
+    GREEDY_LFU = "greedy-lfu"
+
+
+class DareConfig(NamedTuple):
+    """Immutable DARE parameter set.
+
+    Parameters
+    ----------
+    policy:
+        Replica-management scheme.
+    p:
+        ElephantTrap sampling probability (coin-toss for both replication
+        and access-count refresh).  Ignored by the greedy policies.
+    threshold:
+        ElephantTrap aging threshold: a block whose (halved) access count
+        drops below this value is evictable.  The paper sweeps 1..5.
+    budget:
+        Dynamic-replica storage budget as a fraction of the per-node share
+        of stored (physical) data.  The paper calls 0.10–0.20 reasonable
+        and sweeps 0.0–0.9.
+    """
+
+    policy: Policy = Policy.OFF
+    p: float = 0.3
+    threshold: int = 1
+    budget: float = 0.2
+
+    def validate(self) -> "DareConfig":
+        """Raise ``ValueError`` on out-of-range parameters; return self."""
+        if not isinstance(self.policy, Policy):
+            raise ValueError(f"policy must be a Policy, got {self.policy!r}")
+        if not (0.0 <= self.p <= 1.0):
+            raise ValueError(f"p must be in [0, 1], got {self.p}")
+        if self.threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {self.threshold}")
+        if not (0.0 <= self.budget):
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
+        return self
+
+    @property
+    def enabled(self) -> bool:
+        """True when dynamic replication is active."""
+        return self.policy is not Policy.OFF
+
+    @classmethod
+    def off(cls) -> "DareConfig":
+        """Vanilla Hadoop (no DARE)."""
+        return cls(policy=Policy.OFF)
+
+    @classmethod
+    def greedy_lru(cls, budget: float = 0.2) -> "DareConfig":
+        """Algorithm 1 with the given budget."""
+        return cls(policy=Policy.GREEDY_LRU, budget=budget).validate()
+
+    @classmethod
+    def elephant_trap(
+        cls, p: float = 0.3, threshold: int = 1, budget: float = 0.2
+    ) -> "DareConfig":
+        """Algorithm 2 — the paper's headline configuration is the default."""
+        return cls(
+            policy=Policy.ELEPHANT_TRAP, p=p, threshold=threshold, budget=budget
+        ).validate()

@@ -1,0 +1,134 @@
+"""Algorithm 2 — probabilistic replication with ElephantTrap eviction.
+
+The ElephantTrap [Lu, Prabhakar, Bonomi, HOTI'07] identifies "elephants"
+(large, fast flows) with a sampled circular list; DARE adapts it to find the
+blocks that are both heavily and *intensely* accessed:
+
+* a coin is tossed per scheduled map task; only with probability ``p`` does
+  the task's access affect the structure at all — replicating on a remote
+  read, or refreshing the access count on a local read of a tracked block;
+* new replicas enter the circular list *right before* the eviction pointer
+  (so they are examined last on the next eviction walk) with access count 0;
+* when the budget forces an eviction, the pointer walks the ring, **halving
+  each visited block's access count** (competitive aging) until it finds a
+  block whose count is below ``threshold``; if a full lap finds none, or the
+  candidate belongs to the same file as the incoming block, the replication
+  is abandoned (``markBlockForDeletion`` returns null).
+
+Sampling plus competitive aging is what suppresses thrashing: the paper
+reports locality comparable to greedy LRU with about half the disk writes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.hdfs.block import Block
+
+
+class ElephantTrapPolicy:
+    """Per-node ElephantTrap state: circular list + access counts."""
+
+    #: insertion/refresh are gated by the manager's coin toss
+    probabilistic = True
+
+    def __init__(self, p: float, threshold: int, rng: random.Random) -> None:
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(f"p must be in [0,1], got {p}")
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.p = p
+        self.threshold = threshold
+        self._rng = rng
+        #: the circular list of dynamically replicated blocks
+        self._ring: List[Block] = []
+        #: eviction pointer: index into the ring
+        self._ptr = 0
+        #: blocks2accessCount
+        self._counts: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._counts
+
+    # -- coin tosses --------------------------------------------------------
+
+    def wants_replica(self, block: Block) -> bool:
+        """Toss the coin that gates replication of a remote read."""
+        return self._rng.random() < self.p
+
+    def wants_refresh(self, block: Block) -> bool:
+        """Toss the coin that gates an access-count refresh."""
+        return self._rng.random() < self.p
+
+    # -- ring maintenance ----------------------------------------------------
+
+    def add(self, block: Block) -> None:
+        """Insert right before the eviction pointer with count 0."""
+        if block.block_id in self._counts:
+            raise ValueError(f"block {block.block_id} already tracked")
+        self._ring.insert(self._ptr, block)
+        self._ptr = (self._ptr + 1) % max(1, len(self._ring))
+        # a ring of size 1 keeps the pointer on the sole element
+        if len(self._ring) == 1:
+            self._ptr = 0
+        self._counts[block.block_id] = 0
+
+    def remove(self, block_id: int) -> None:
+        """Remove a block from ring and counts, fixing the pointer."""
+        if block_id not in self._counts:
+            return
+        idx = next(i for i, b in enumerate(self._ring) if b.block_id == block_id)
+        del self._ring[idx]
+        del self._counts[block_id]
+        if not self._ring:
+            self._ptr = 0
+        else:
+            if idx < self._ptr:
+                self._ptr -= 1
+            self._ptr %= len(self._ring)
+
+    def on_local_access(self, block: Block) -> None:
+        """Increment the access count of a tracked block (already coin-gated)."""
+        if block.block_id in self._counts:
+            self._counts[block.block_id] += 1
+
+    # -- eviction ---------------------------------------------------------------
+
+    def pick_victim(self, evicting: Block) -> Optional[Block]:
+        """The ``markBlockForDeletion`` walk of Algorithm 2.
+
+        Walks the ring from the eviction pointer, halving access counts,
+        until a block with count below ``threshold`` appears or a full lap
+        completes.  Returns ``None`` (abandon replication) when no suitable
+        victim exists or the candidate shares a file with ``evicting``.
+        """
+        n = len(self._ring)
+        if n == 0:
+            return None
+        steps = 0
+        victim = self._ring[self._ptr]
+        while self._counts[victim.block_id] >= self.threshold and steps < n:
+            # competitive aging: halve and move on
+            self._counts[victim.block_id] //= 2
+            self._ptr = (self._ptr + 1) % n
+            victim = self._ring[self._ptr]
+            steps += 1
+        if self._counts[victim.block_id] >= self.threshold:
+            return None  # full lap, everything still popular
+        if victim.same_file(evicting):
+            return None  # same popularity class — do not victimize
+        return victim
+
+    # -- introspection -------------------------------------------------------------
+
+    def access_count(self, block_id: int) -> int:
+        """Current (aged) access count of a tracked block."""
+        return self._counts[block_id]
+
+    def ring_blocks(self) -> List[Block]:
+        """Ring contents in pointer order (tests)."""
+        return self._ring[self._ptr:] + self._ring[: self._ptr]

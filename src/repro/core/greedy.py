@@ -1,0 +1,112 @@
+"""Algorithm 1 — greedy replication with LRU eviction.
+
+Per the paper: every non-data-local map read inserts the fetched block as a
+dynamic replica; when the budget would be exceeded, the least recently used
+dynamic replica is evicted, skipping victims that belong to the same file as
+the incoming block ("has the same popularity as the evicting replica").
+The usage-order queue "is refreshed on every read; blocks are inserted in
+tail and removed from front".
+
+An LFU variant (:class:`GreedyLFUPolicy`) is provided as the ablation the
+paper alludes to ("Choice between LRU and LFU should be made after profiling
+typical workloads").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.hdfs.block import Block
+
+
+class GreedyLRUPolicy:
+    """Per-node LRU tracking of dynamic replicas (Algorithm 1)."""
+
+    #: greedy policies replicate on every remote read
+    probabilistic = False
+
+    def __init__(self) -> None:
+        # OrderedDict as an LRU queue: front = least recently used
+        self._order: "OrderedDict[int, Block]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._order
+
+    def add(self, block: Block) -> None:
+        """Track a freshly inserted dynamic replica (tail = most recent)."""
+        if block.block_id in self._order:
+            raise ValueError(f"block {block.block_id} already tracked")
+        self._order[block.block_id] = block
+
+    def remove(self, block_id: int) -> None:
+        """Stop tracking an evicted replica."""
+        self._order.pop(block_id, None)
+
+    def on_local_access(self, block: Block) -> None:
+        """Refresh the usage order on every read of a tracked block."""
+        if block.block_id in self._order:
+            self._order.move_to_end(block.block_id)
+
+    def wants_replica(self, block: Block) -> bool:
+        """Greedy: any non-local access is worth replicating."""
+        return True
+
+    def wants_refresh(self, block: Block) -> bool:
+        """Greedy: refresh on every read."""
+        return True
+
+    def pick_victim(self, evicting: Block) -> Optional[Block]:
+        """Front-of-queue LRU victim, skipping same-file blocks.
+
+        Returns ``None`` when every tracked block belongs to the evicting
+        block's file (nothing safe to evict).  Matches the
+        ``markBlockForDeletion`` loop of Algorithm 1.
+        """
+        for block in self._order.values():
+            if not block.same_file(evicting):
+                return block
+        return None
+
+    def tracked_blocks(self) -> Dict[int, Block]:
+        """Snapshot of tracked dynamic replicas (tests/metrics)."""
+        return dict(self._order)
+
+
+class GreedyLFUPolicy(GreedyLRUPolicy):
+    """Ablation: greedy insertion with least-frequently-used eviction."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counts: Dict[int, int] = {}
+
+    def add(self, block: Block) -> None:
+        super().add(block)
+        self._counts[block.block_id] = 0
+
+    def remove(self, block_id: int) -> None:
+        super().remove(block_id)
+        self._counts.pop(block_id, None)
+
+    def on_local_access(self, block: Block) -> None:
+        if block.block_id in self._counts:
+            self._counts[block.block_id] += 1
+
+    def pick_victim(self, evicting: Block) -> Optional[Block]:
+        """Lowest-access-count victim, same-file blocks excluded.
+
+        Ties break by insertion order (oldest first), which keeps the
+        policy deterministic.
+        """
+        best: Optional[Block] = None
+        best_count = None
+        for bid, block in self._order.items():
+            if block.same_file(evicting):
+                continue
+            c = self._counts[bid]
+            if best_count is None or c < best_count:
+                best, best_count = block, c
+        return best

@@ -1,0 +1,144 @@
+"""The DARE replication service: per-node policy state wired into the
+map-task launch path.
+
+``DareReplicationService.on_map_task`` is the single entry point the
+MapReduce runtime calls for every scheduled map task (Algorithms 1 and 2
+both trigger "if a map task is scheduled").  It is careful to generate *no
+data transfers of its own*: a replica is only ever created from bytes the
+task already fetched, which the test suite verifies through the
+``replications_piggybacked`` counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.budget import ReplicationBudget
+from repro.core.config import DareConfig, Policy
+from repro.core.elephant_trap import ElephantTrapPolicy
+from repro.core.greedy import GreedyLFUPolicy, GreedyLRUPolicy
+from repro.hdfs.block import Block
+from repro.hdfs.namenode import NameNode
+from repro.simulation.rng import RandomStreams
+
+
+class NodeReplicaState:
+    """One node's DARE state: its policy instance plus counters."""
+
+    __slots__ = ("node_id", "policy", "replications", "abandoned")
+
+    def __init__(self, node_id: int, policy) -> None:
+        self.node_id = node_id
+        self.policy = policy
+        #: replicas successfully created on this node
+        self.replications = 0
+        #: replications abandoned because no victim could be found
+        self.abandoned = 0
+
+
+def _make_policy(config: DareConfig, node_id: int, streams: RandomStreams):
+    if config.policy is Policy.GREEDY_LRU:
+        return GreedyLRUPolicy()
+    if config.policy is Policy.GREEDY_LFU:
+        return GreedyLFUPolicy()
+    if config.policy is Policy.ELEPHANT_TRAP:
+        return ElephantTrapPolicy(
+            config.p, config.threshold, streams.python(f"dare.coin.{node_id}")
+        )
+    raise ValueError(f"no policy instance for {config.policy}")
+
+
+class DareReplicationService:
+    """Cluster-wide coordinator of the per-node replication managers.
+
+    Each node runs its policy *independently* (the algorithm is fully
+    distributed); this object only exists to own the shared configuration,
+    size the budget, and aggregate counters for the metrics.
+    """
+
+    def __init__(
+        self,
+        config: DareConfig,
+        namenode: NameNode,
+        streams: RandomStreams,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.namenode = namenode
+        self.states: Dict[int, NodeReplicaState] = {}
+        if config.enabled:
+            budget = ReplicationBudget(config.budget)
+            self.per_node_budget_bytes = budget.apply(namenode)
+            for node_id in namenode.datanodes:
+                self.states[node_id] = NodeReplicaState(
+                    node_id, _make_policy(config, node_id, streams)
+                )
+        else:
+            self.per_node_budget_bytes = 0
+        #: total replica insertions (each is piggybacked on a remote read)
+        self.replications_piggybacked = 0
+
+    # -- the hook ------------------------------------------------------------
+
+    def on_map_task(self, node_id: int, block: Block, data_local: bool, now: float) -> bool:
+        """Called when a map task is scheduled on ``node_id`` for ``block``.
+
+        ``data_local`` reflects whether the executing node holds a replica.
+        Returns True when a dynamic replica was created by this call.
+        """
+        if not self.config.enabled:
+            return False
+        state = self.states[node_id]
+        policy = state.policy
+        if data_local:
+            # local read: (possibly coin-gated) usage refresh
+            if not policy.probabilistic or policy.wants_refresh(block):
+                policy.on_local_access(block)
+            return False
+        # remote read: the node has just fetched the block anyway —
+        # decide whether to keep it
+        if not policy.wants_replica(block):
+            return False
+        return self._try_replicate(state, block, now)
+
+    def _try_replicate(self, state: NodeReplicaState, block: Block, now: float) -> bool:
+        dn = self.namenode.datanode(state.node_id)
+        if dn.has_block(block.block_id):
+            # e.g. two concurrent remote tasks for the same block: the
+            # second fetch finds the replica already inserted
+            return False
+        if block.size_bytes > dn.dynamic_capacity_bytes:
+            return False  # budget can never hold this block
+        while dn.would_exceed_budget(block):
+            victim = state.policy.pick_victim(block)
+            if victim is None:
+                # couldn't find a block to evict; will not replicate
+                state.abandoned += 1
+                return False
+            state.policy.remove(victim.block_id)
+            dn.mark_for_deletion(victim.block_id, now)
+        dn.insert_dynamic(block, now)
+        state.policy.add(block)
+        state.replications += 1
+        self.replications_piggybacked += 1
+        return True
+
+    # -- aggregate counters ---------------------------------------------------
+
+    @property
+    def total_replications(self) -> int:
+        """Dynamic replicas created across all nodes."""
+        return sum(s.replications for s in self.states.values())
+
+    @property
+    def total_abandoned(self) -> int:
+        """Replications abandoned for lack of a victim."""
+        return sum(s.abandoned for s in self.states.values())
+
+    def total_disk_writes(self) -> int:
+        """Disk writes attributable to dynamic replication."""
+        return sum(dn.blocks_replicated for dn in self.namenode.datanodes.values())
+
+    def total_evictions(self) -> int:
+        """Dynamic replicas evicted across all nodes."""
+        return sum(dn.blocks_evicted for dn in self.namenode.datanodes.values())

@@ -1,0 +1,71 @@
+"""End-to-end experiment harness.
+
+:func:`~repro.experiments.runner.run_experiment` assembles the full stack —
+cluster, HDFS, DARE, scheduler, JobTracker — replays a workload trace, and
+returns an :class:`~repro.experiments.runner.ExperimentResult` with every
+metric the paper reports.
+
+:mod:`repro.experiments.tables` and :mod:`repro.experiments.figures` hold
+one driver per evaluation table/figure; :mod:`repro.experiments.ablations`
+adds design-choice ablations beyond the paper.
+"""
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    make_scheduler,
+    run_experiment,
+)
+from repro.experiments.tables import (
+    bandwidth_ratios,
+    fig1_hop_distribution,
+    table1_rtt,
+    table2_bandwidth,
+)
+from repro.experiments.figures import (
+    ET_CONFIG,
+    LRU_CONFIG,
+    Fig7Cell,
+    Fig11Point,
+    SweepPoint,
+    fig2_popularity,
+    fig3_age_cdf,
+    fig4_windows,
+    fig5_windows_day,
+    fig6_access_cdf,
+    fig7_cct,
+    fig8a_p_sweep,
+    fig8b_threshold_sweep,
+    fig9a_budget_sweep_lru,
+    fig9b_budget_sweep_et,
+    fig10_ec2,
+    fig11_uniformity,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "make_scheduler",
+    "run_experiment",
+    "table1_rtt",
+    "table2_bandwidth",
+    "bandwidth_ratios",
+    "fig1_hop_distribution",
+    "ET_CONFIG",
+    "LRU_CONFIG",
+    "Fig7Cell",
+    "Fig11Point",
+    "SweepPoint",
+    "fig2_popularity",
+    "fig3_age_cdf",
+    "fig4_windows",
+    "fig5_windows_day",
+    "fig6_access_cdf",
+    "fig7_cct",
+    "fig8a_p_sweep",
+    "fig8b_threshold_sweep",
+    "fig9a_budget_sweep_lru",
+    "fig9b_budget_sweep_et",
+    "fig10_ec2",
+    "fig11_uniformity",
+]

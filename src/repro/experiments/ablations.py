@@ -1,0 +1,270 @@
+"""Ablations beyond the paper's figures.
+
+These probe the design choices DESIGN.md calls out:
+
+* **disk writes** — the Section I claim that ElephantTrap matches greedy
+  LRU's locality with roughly half the disk writes (thrashing control);
+* **eviction policy** — LRU vs LFU vs ElephantTrap at equal budget (the
+  paper says "choice between LRU and LFU should be made after profiling");
+* **no budget** — what unlimited replica storage would buy (upper bound);
+* **delay sweep** — how the Fair scheduler's delay interacts with DARE;
+* **uniform replication baseline** — DARE vs simply raising every file's
+  replication factor (the strawman Section II argues against).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import CCT_SPEC
+from repro.core.config import DareConfig, Policy
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.scheduling.fair import FairScheduler
+from repro.workloads.swim import Workload, synthesize_wl1, synthesize_wl2
+
+DEFAULT_SEED = 20110926
+
+
+class WritesRow(NamedTuple):
+    """Locality vs disk-write cost for one policy."""
+
+    policy: str
+    locality: float
+    replication_disk_writes: int
+    evictions: int
+
+
+def ablation_disk_writes(
+    n_jobs: int = 500, seed: int = DEFAULT_SEED, scheduler: str = "fifo"
+) -> List[WritesRow]:
+    """ElephantTrap vs greedy LRU: locality per disk write (Section I)."""
+    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+    rows = []
+    for label, dare in [
+        ("greedy-lru", DareConfig.greedy_lru(budget=0.2)),
+        ("elephant-trap", DareConfig.elephant_trap(p=0.3, threshold=1, budget=0.2)),
+    ]:
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=CCT_SPEC, scheduler=scheduler, dare=dare, seed=seed),
+            workload,
+        )
+        rows.append(
+            WritesRow(label, r.job_locality, r.replication_disk_writes, r.blocks_evicted)
+        )
+    return rows
+
+
+class EvictionRow(NamedTuple):
+    """One eviction policy's outcome at equal budget."""
+
+    policy: str
+    locality: float
+    blocks_per_job: float
+    evictions: int
+
+
+def ablation_eviction_policy(
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    budget: float = 0.2,
+    scheduler: str = "fifo",
+) -> List[EvictionRow]:
+    """LRU vs LFU vs ElephantTrap under the same budget (wl2)."""
+    workload = synthesize_wl2(np.random.default_rng(seed), n_jobs=n_jobs)
+    configs = [
+        ("greedy-lru", DareConfig(policy=Policy.GREEDY_LRU, budget=budget)),
+        ("greedy-lfu", DareConfig(policy=Policy.GREEDY_LFU, budget=budget)),
+        ("elephant-trap", DareConfig.elephant_trap(p=0.3, threshold=1, budget=budget)),
+    ]
+    rows = []
+    for label, dare in configs:
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=CCT_SPEC, scheduler=scheduler, dare=dare, seed=seed),
+            workload,
+        )
+        rows.append(
+            EvictionRow(label, r.job_locality, r.blocks_created_per_job, r.blocks_evicted)
+        )
+    return rows
+
+
+class BudgetBoundRow(NamedTuple):
+    """Budgeted DARE vs an effectively unlimited budget."""
+
+    budget: str
+    locality: float
+    extra_storage_fraction: float
+
+
+def ablation_unlimited_budget(
+    n_jobs: int = 500, seed: int = DEFAULT_SEED
+) -> List[BudgetBoundRow]:
+    """How much locality the 20% budget leaves on the table (wl1, FIFO)."""
+    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+    rows = []
+    for label, budget in [("0.2", 0.2), ("unlimited", 100.0)]:
+        dare = DareConfig.elephant_trap(p=0.3, threshold=1, budget=budget)
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=CCT_SPEC, scheduler="fifo", dare=dare, seed=seed),
+            workload,
+        )
+        # fraction of the 3x-replicated data set the dynamic replicas add
+        dataset = sum(
+            f.n_blocks for f in workload.catalog.files
+        )
+        live_dynamic = r.blocks_created - r.blocks_evicted
+        rows.append(BudgetBoundRow(label, r.job_locality, live_dynamic / (3 * dataset)))
+    return rows
+
+
+class DelayRow(NamedTuple):
+    """Fair-scheduler delay sweep point."""
+
+    delay_s: float
+    vanilla_locality: float
+    dare_locality: float
+    vanilla_gmtt: float
+    dare_gmtt: float
+
+
+def ablation_delay_sweep(
+    delays: Sequence[float] = (0.0, 0.5, 1.5, 3.0, 6.0),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+) -> List[DelayRow]:
+    """Delay scheduling x DARE interaction (wl1).
+
+    Uses a custom scheduler factory per delay, exercising the same
+    experiment path as the headline figures.
+    """
+    from repro.experiments import runner as runner_mod
+
+    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+    rows = []
+    original = runner_mod.make_scheduler
+    try:
+        for d in delays:
+            runner_mod.make_scheduler = (
+                lambda name, _d=d: FairScheduler(node_delay_s=_d, rack_delay_s=_d)
+                if name == "fair"
+                else original(name)
+            )
+            van = run_experiment(
+                ExperimentConfig(cluster_spec=CCT_SPEC, scheduler="fair", seed=seed),
+                workload,
+            )
+            dare = run_experiment(
+                ExperimentConfig(
+                    cluster_spec=CCT_SPEC,
+                    scheduler="fair",
+                    dare=DareConfig.elephant_trap(),
+                    seed=seed,
+                ),
+                workload,
+            )
+            rows.append(
+                DelayRow(d, van.job_locality, dare.job_locality, van.gmtt_s, dare.gmtt_s)
+            )
+    finally:
+        runner_mod.make_scheduler = original
+    return rows
+
+
+class OversubRow(NamedTuple):
+    """Oversubscribed-fabric ablation point."""
+
+    cross_rack_factor: float
+    vanilla_locality: float
+    dare_locality: float
+    vanilla_gmtt: float
+    dare_gmtt: float
+
+    @property
+    def gmtt_reduction(self) -> float:
+        """Fractional GMTT improvement DARE buys at this oversubscription."""
+        return 1.0 - self.dare_gmtt / self.vanilla_gmtt
+
+
+def ablation_oversubscription(
+    factors: Sequence[float] = (1.0, 2.5, 5.0),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    racks: int = 4,
+) -> List[OversubRow]:
+    """DARE's value grows with fabric oversubscription (Section V-B).
+
+    Runs wl1 on a multi-rack dedicated cluster whose cross-rack bandwidth
+    is divided by increasing factors ("network fabrics are frequently
+    oversubscribed, especially across racks").  The more oversubscribed the
+    fabric, the more each avoided remote read is worth.
+    """
+    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+    rows = []
+    for factor in factors:
+        spec = CCT_SPEC._replace(
+            dedicated_racks=racks,
+            network=CCT_SPEC.network._replace(cross_rack_factor=factor),
+        )
+        van = run_experiment(
+            ExperimentConfig(cluster_spec=spec, scheduler="fifo", seed=seed), workload
+        )
+        dare = run_experiment(
+            ExperimentConfig(
+                cluster_spec=spec,
+                scheduler="fifo",
+                dare=DareConfig.elephant_trap(),
+                seed=seed,
+            ),
+            workload,
+        )
+        rows.append(
+            OversubRow(factor, van.job_locality, dare.job_locality, van.gmtt_s, dare.gmtt_s)
+        )
+    return rows
+
+
+class UniformRow(NamedTuple):
+    """Uniform k-replication baseline vs DARE."""
+
+    label: str
+    locality: float
+    storage_blocks: int
+
+
+def ablation_uniform_replication(
+    factors: Sequence[int] = (3, 4, 6, 8),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+) -> List[UniformRow]:
+    """DARE vs raising every file's replication factor (wl1, FIFO).
+
+    The storage column shows why uniform replication is the wrong tool:
+    it pays for replicas of data nobody reads.
+    """
+    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+    dataset_blocks = sum(f.n_blocks for f in workload.catalog.files)
+    rows = []
+    for k in factors:
+        r = run_experiment(
+            ExperimentConfig(
+                cluster_spec=CCT_SPEC, scheduler="fifo", replication=k, seed=seed
+            ),
+            workload,
+        )
+        rows.append(UniformRow(f"uniform rf={k}", r.job_locality, k * dataset_blocks))
+    r = run_experiment(
+        ExperimentConfig(
+            cluster_spec=CCT_SPEC,
+            scheduler="fifo",
+            dare=DareConfig.elephant_trap(),
+            seed=seed,
+        ),
+        workload,
+    )
+    live_dynamic = r.blocks_created - r.blocks_evicted
+    rows.append(
+        UniformRow("DARE (rf=3 + budget 0.2)", r.job_locality, 3 * dataset_blocks + live_dynamic)
+    )
+    return rows

@@ -1,0 +1,258 @@
+"""Run one trace through the full simulated stack and collect metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.cdrm import CdrmConfig, CdrmService
+from repro.baselines.scarlett import ScarlettConfig, ScarlettService
+from repro.cluster.cluster import Cluster, ClusterSpec, CCT_SPEC
+from repro.failures.injector import FailureInjector, FailurePlan
+from repro.failures.repair import ReReplicationService
+from repro.metrics.traffic import TrafficMeter
+from repro.core.config import DareConfig
+from repro.core.manager import DareReplicationService
+from repro.hdfs.namenode import NameNode
+from repro.mapreduce.jobtracker import JobTracker
+from repro.mapreduce.runtime import TaskTimeModel
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.locality import LocalityStats, cluster_locality, mean_job_locality
+from repro.metrics.placement import coefficient_of_variation, popularity_indices
+from repro.metrics.slowdown import mean_slowdown
+from repro.metrics.turnaround import geometric_mean_turnaround
+from repro.scheduling.base import Scheduler
+from repro.scheduling.fair import FairScheduler, SkipCountFairScheduler
+from repro.scheduling.fifo import FifoScheduler
+from repro.simulation.engine import Engine
+from repro.simulation.rng import RandomStreams
+from repro.workloads.swim import Workload
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Scheduler factory: 'fifo', 'fair', or 'fair-skip'."""
+    if name == "fifo":
+        return FifoScheduler()
+    if name == "fair":
+        return FairScheduler()
+    if name == "fair-skip":
+        return SkipCountFairScheduler()
+    raise ValueError(
+        f"unknown scheduler {name!r} (expected 'fifo', 'fair', or 'fair-skip')"
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell: cluster x scheduler x DARE setting.
+
+    Optional extensions: ``scarlett`` runs the epoch-based proactive
+    baseline instead of (or alongside) DARE; ``failures`` is a tuple of
+    ``(time_s, node_id)`` node-crash events, repaired by an HDFS-style
+    re-replication service.
+    """
+
+    cluster_spec: ClusterSpec = CCT_SPEC
+    scheduler: str = "fifo"
+    dare: DareConfig = DareConfig.off()
+    seed: int = 20110926
+    replication: int = 3  # HDFS default
+    scarlett: Optional[ScarlettConfig] = None
+    cdrm: Optional[CdrmConfig] = None
+    failures: Tuple[Tuple[float, int], ...] = ()
+    failure_detection_s: float = 10.0
+    #: enable Hadoop-style speculative execution of straggler maps
+    speculative: bool = False
+
+    def label(self) -> str:
+        """Readable cell label for reports."""
+        return (
+            f"{self.cluster_spec.name}/{self.scheduler}/"
+            f"{self.dare.policy.value}"
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Every metric the paper's evaluation reports, for one run."""
+
+    config: ExperimentConfig
+    workload: str
+    n_jobs: int
+    #: cluster-wide task-placement breakdown
+    locality: LocalityStats
+    #: unweighted mean of per-job locality (Fig. 7a / 10a bars)
+    job_locality: float
+    #: geometric mean turnaround time, seconds (Fig. 7b / 10b)
+    gmtt_s: float
+    #: mean slowdown vs dedicated-cluster ideal (Fig. 7c / 10c)
+    slowdown: float
+    #: mean map-task completion time, seconds (Section V-C)
+    mean_map_s: float
+    #: dynamic replicas created, total and per job (Figs. 8-9 bottom)
+    blocks_created: int
+    blocks_created_per_job: float
+    #: dynamic replicas evicted (thrashing indicator)
+    blocks_evicted: int
+    #: disk writes attributable to replication (the LRU-vs-ET claim)
+    replication_disk_writes: int
+    #: cv of node popularity indices before/after the run (Fig. 11)
+    cv_before: float
+    cv_after: float
+    #: makespan of the whole trace, seconds
+    makespan_s: float
+    #: network bytes moved, by category (remote reads, shuffle, ...)
+    traffic_bytes: Dict[str, int] = field(default_factory=dict)
+    #: failure-experiment outcomes (zero when no failures injected)
+    blocks_lost_replicas: int = 0
+    data_loss_blocks: int = 0
+    repairs_completed: int = 0
+    tasks_requeued: int = 0
+    #: Scarlett baseline activity (zero when not enabled)
+    scarlett_replicas_created: int = 0
+    #: CDRM baseline activity (zero when not enabled)
+    cdrm_replicas_created: int = 0
+    #: speculative-execution activity (zero when not enabled)
+    speculative_launched: int = 0
+    speculative_wasted: int = 0
+    speculative_won: int = 0
+    #: raw per-task / per-job records for deeper analysis
+    collector: MetricsCollector = field(repr=False, default=None)
+
+    def summary_row(self) -> str:
+        """One printable summary line."""
+        return (
+            f"{self.config.label():<34s} {self.workload:<4s} "
+            f"loc={self.job_locality:5.3f} gmtt={self.gmtt_s:8.1f}s "
+            f"slow={self.slowdown:5.2f} blk/job={self.blocks_created_per_job:5.2f}"
+        )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    workload: Workload,
+    collector: Optional[MetricsCollector] = None,
+) -> ExperimentResult:
+    """Replay ``workload`` under ``config`` and measure everything.
+
+    Deterministic: the same (config, workload) pair always produces the
+    same result.  The cluster, HDFS placement, and DARE coin streams are
+    all derived from ``config.seed``.
+    """
+    streams = RandomStreams(config.seed)
+    cluster = Cluster(config.cluster_spec, streams)
+    engine = Engine()
+    namenode = NameNode(cluster)
+
+    # load the data set (static replicas via the default placement policy)
+    for fspec in workload.catalog.files:
+        namenode.create_file(
+            fspec.name, fspec.size_bytes(), replication=config.replication
+        )
+
+    access_counts = dict(workload.access_counts())
+    cv_before = coefficient_of_variation(popularity_indices(namenode, access_counts))
+
+    dare = DareReplicationService(config.dare, namenode, streams)
+    scheduler = make_scheduler(config.scheduler)
+    time_model = TaskTimeModel(cluster, namenode, streams.python("runtime.sources"))
+    collector = collector or MetricsCollector()
+    traffic = TrafficMeter()
+    speculation = None
+    if config.speculative:
+        from repro.mapreduce.speculation import SpeculationPolicy
+
+        speculation = SpeculationPolicy()
+    jobtracker = JobTracker(
+        cluster, namenode, engine, scheduler, time_model, dare, collector, traffic,
+        speculation=speculation,
+    )
+    jobtracker.start_tasktrackers()
+    jobtracker.submit_trace(workload.specs)
+
+    scarlett = None
+    if config.scarlett is not None:
+        scarlett = ScarlettService(
+            config.scarlett,
+            namenode,
+            engine,
+            traffic,
+            streams.python("scarlett"),
+            stop_when=lambda: jobtracker.finished,
+        )
+        jobtracker.submit_listeners.append(scarlett.observe_submission)
+        scarlett.arm()
+
+    cdrm = None
+    if config.cdrm is not None:
+        cdrm = CdrmService(
+            config.cdrm,
+            namenode,
+            engine,
+            traffic,
+            streams.python("cdrm"),
+            stop_when=lambda: jobtracker.finished,
+        )
+        cdrm.arm()
+
+    injector = None
+    repair = None
+    if config.failures:
+        repair = ReReplicationService(
+            namenode, engine, traffic, streams.python("repair")
+        )
+        injector = FailureInjector(
+            FailurePlan(tuple(config.failures)),
+            engine,
+            namenode,
+            jobtracker,
+            repair,
+            detection_delay_s=config.failure_detection_s,
+        )
+        injector.arm()
+
+    engine.run()
+
+    if not jobtracker.finished:
+        raise RuntimeError(
+            f"simulation drained with {jobtracker.completed_jobs}/"
+            f"{jobtracker.expected_jobs} jobs complete"
+        )
+
+    # settle the control plane so the final placement view is complete
+    namenode.flush_all_heartbeats(engine.now)
+    namenode.check_integrity()
+
+
+    cv_after = coefficient_of_variation(popularity_indices(namenode, access_counts))
+    records = collector.job_records
+    return ExperimentResult(
+        config=config,
+        workload=workload.name,
+        n_jobs=len(records),
+        locality=cluster_locality(records),
+        job_locality=mean_job_locality(records),
+        gmtt_s=geometric_mean_turnaround(records),
+        slowdown=mean_slowdown(records, workload.specs_by_id, cluster, time_model),
+        mean_map_s=collector.mean_map_duration(),
+        blocks_created=dare.total_replications,
+        blocks_created_per_job=dare.total_replications / max(1, len(records)),
+        blocks_evicted=dare.total_evictions(),
+        replication_disk_writes=dare.total_disk_writes(),
+        cv_before=cv_before,
+        cv_after=cv_after,
+        makespan_s=engine.now,
+        traffic_bytes=jobtracker.traffic.by_category,
+        blocks_lost_replicas=injector.blocks_that_lost_replicas if injector else 0,
+        data_loss_blocks=injector.data_loss_count if injector else 0,
+        repairs_completed=repair.repairs_completed if repair else 0,
+        tasks_requeued=jobtracker.tasks_requeued,
+        scarlett_replicas_created=scarlett.replicas_created if scarlett else 0,
+        cdrm_replicas_created=cdrm.replicas_created if cdrm else 0,
+        speculative_launched=jobtracker.speculative_launched,
+        speculative_wasted=jobtracker.speculative_wasted,
+        speculative_won=jobtracker.speculative_won,
+        collector=collector,
+    )

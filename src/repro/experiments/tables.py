@@ -1,0 +1,91 @@
+"""Tables I and II and Figure 1: cluster measurement experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple
+
+import numpy as np
+
+from repro.cluster.cluster import CCT_SPEC, EC2_SPEC, build_cluster
+from repro.cluster.probes import (
+    SummaryStats,
+    measure_disk_bandwidth,
+    measure_network_bandwidth,
+    ping_all_pairs,
+    traceroute_hop_histogram,
+)
+
+#: the paper probed 20-node clusters in both environments
+_EC2_20 = EC2_SPEC._replace(n_nodes=20)
+
+
+class Table1Row(NamedTuple):
+    """One row of Table I (RTT in ms)."""
+
+    cluster: str
+    stats: SummaryStats
+
+
+def table1_rtt(seed: int = 20110926, samples_per_pair: int = 3) -> List[Table1Row]:
+    """All-to-all ping RTTs for a dedicated and a virtualized cluster."""
+    rows = []
+    for spec in (CCT_SPEC, _EC2_20):
+        cluster = build_cluster(spec, seed)
+        rows.append(Table1Row(spec.name, ping_all_pairs(cluster, samples_per_pair)))
+    return rows
+
+
+class Table2Row(NamedTuple):
+    """One row of Table II (bandwidth in MB/s)."""
+
+    label: str
+    stats: SummaryStats
+
+
+def table2_bandwidth(seed: int = 20110926) -> List[Table2Row]:
+    """Disk and network bandwidth for both clusters."""
+    rows = []
+    for spec in (CCT_SPEC, _EC2_20):
+        cluster = build_cluster(spec, seed)
+        rows.append(
+            Table2Row(f"{spec.name} disk bandwidth", measure_disk_bandwidth(cluster))
+        )
+        rows.append(
+            Table2Row(
+                f"{spec.name} network bandwidth", measure_network_bandwidth(cluster)
+            )
+        )
+    return rows
+
+
+def bandwidth_ratios(seed: int = 20110926) -> Dict[str, float]:
+    """Section II-B's key insight: net/disk bandwidth ratio per cluster."""
+    out = {}
+    for spec in (CCT_SPEC, _EC2_20):
+        cluster = build_cluster(spec, seed)
+        net = measure_network_bandwidth(cluster).mean
+        disk = measure_disk_bandwidth(cluster).mean
+        out[spec.name] = net / disk
+    return out
+
+
+def fig1_hop_distribution(seed: int = 20110926, max_hops: int = 10) -> np.ndarray:
+    """Proportion of EC2 node pairs at each hop count (Figure 1)."""
+    cluster = build_cluster(_EC2_20, seed)
+    return traceroute_hop_histogram(cluster, max_hops)
+
+
+def print_table1(rows: List[Table1Row]) -> None:
+    """Render Table I the way the paper formats it."""
+    print("Table I: all-to-all ping round-trip times (ms)")
+    print(f"{'':<28s} {'Min':>10s} {'Mean':>10s} {'Max':>10s} {'Std.Dev':>10s}")
+    for row in rows:
+        print(row.stats.row(row.cluster.upper()))
+
+
+def print_table2(rows: List[Table2Row]) -> None:
+    """Render Table II."""
+    print("Table II: disk (read) and network bandwidth (MB/s)")
+    print(f"{'':<28s} {'Min':>10s} {'Mean':>10s} {'Max':>10s} {'Std.Dev':>10s}")
+    for row in rows:
+        print(row.stats.row(row.label.upper()))

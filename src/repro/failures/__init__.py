@@ -1,0 +1,17 @@
+"""Failure injection and recovery.
+
+The paper notes that DARE's dynamic replicas "are first-order replicas and
+as such they also contribute to increasing availability of the data in the
+presence of failures" (Section IV-B).  This package makes that claim
+testable: a :class:`~repro.failures.injector.FailureInjector` kills nodes
+mid-run (tasks are re-queued, the NameNode prunes locations), and a
+:class:`~repro.failures.repair.ReReplicationService` repairs
+under-replicated blocks over the network the way HDFS does — so
+experiments can measure data loss, repair traffic, and job disruption with
+and without DARE.
+"""
+
+from repro.failures.injector import FailureInjector, FailurePlan
+from repro.failures.repair import ReReplicationService
+
+__all__ = ["FailureInjector", "FailurePlan", "ReReplicationService"]

@@ -1,0 +1,121 @@
+"""Node-failure injection."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.simulation.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.failures.repair import ReReplicationService
+    from repro.hdfs.namenode import NameNode
+    from repro.mapreduce.jobtracker import JobTracker
+
+
+class FailurePlan(NamedTuple):
+    """A deterministic failure schedule: (time_s, node_id) pairs."""
+
+    events: Tuple[Tuple[float, int], ...]
+
+    @classmethod
+    def at(cls, *events: Tuple[float, int]) -> "FailurePlan":
+        """Build a plan from (time, node) pairs."""
+        return cls(tuple(events))
+
+    def validate(self, n_nodes: int) -> "FailurePlan":
+        """Raise on malformed plans; return self."""
+        seen = set()
+        for t, node in self.events:
+            if t < 0:
+                raise ValueError(f"failure at negative time {t}")
+            if not (1 <= node < n_nodes):
+                raise ValueError(f"node {node} is not a slave (master is 0)")
+            if node in seen:
+                raise ValueError(f"node {node} fails twice")
+            seen.add(node)
+        return self
+
+
+class FailureInjector:
+    """Executes a :class:`FailurePlan` against a running simulation.
+
+    Killing a node, in order:
+
+    1. the machine stops (``node.alive = False``) — its TaskTracker never
+       heartbeats again;
+    2. in-flight tasks on the node are killed and requeued on the
+       JobTracker (MapReduce task re-execution);
+    3. after ``detection_delay_s`` (heartbeat-expiry on the masters) the
+       NameNode prunes the node from every block's location set and the
+       re-replication service is notified of the lost replicas.
+
+    Between (1) and (3) the schedulers may still *plan* against the stale
+    location view — exactly the window real Hadoop has between a crash and
+    TaskTracker/DataNode expiry.
+    """
+
+    def __init__(
+        self,
+        plan: FailurePlan,
+        engine: Engine,
+        namenode: "NameNode",
+        jobtracker: "JobTracker",
+        repair: Optional["ReReplicationService"] = None,
+        detection_delay_s: float = 10.0,
+    ) -> None:
+        if detection_delay_s < 0:
+            raise ValueError("detection delay must be nonnegative")
+        self.plan = plan.validate(len(namenode.cluster.nodes))
+        self.engine = engine
+        self.namenode = namenode
+        self.jobtracker = jobtracker
+        self.repair = repair
+        self.detection_delay_s = detection_delay_s
+        self.failed_nodes: List[int] = []
+        #: block_id -> live replica count at detection time
+        self.lost_replicas: Dict[int, int] = {}
+        #: blocks that had zero live replicas at detection time
+        self.data_loss_blocks: List[int] = []
+
+    def arm(self) -> None:
+        """Schedule the plan's failure events."""
+        for t, node in self.plan.events:
+            self.engine.schedule(
+                t, lambda n=node: self._fail(n), f"fail:node{node}"
+            )
+
+    # -- the failure sequence -------------------------------------------------
+
+    def _fail(self, node_id: int) -> None:
+        node = self.namenode.cluster.node(node_id)
+        if not node.alive:
+            return
+        node.alive = False
+        self.failed_nodes.append(node_id)
+        self.jobtracker.requeue_tasks_from(node_id)
+        self.engine.schedule_in(
+            self.detection_delay_s,
+            lambda: self._detect(node_id),
+            f"detect-fail:node{node_id}",
+        )
+
+    def _detect(self, node_id: int) -> None:
+        lost = self.namenode.fail_node(node_id)
+        for bid, remaining in lost.items():
+            self.lost_replicas[bid] = remaining
+            if remaining == 0:
+                self.data_loss_blocks.append(bid)
+        if self.repair is not None:
+            self.repair.enqueue_repairs(lost)
+
+    # -- reporting --------------------------------------------------------------
+
+    @property
+    def blocks_that_lost_replicas(self) -> int:
+        """Distinct blocks that lost at least one replica."""
+        return len(self.lost_replicas)
+
+    @property
+    def data_loss_count(self) -> int:
+        """Blocks left with zero live replicas (unrecoverable)."""
+        return len(self.data_loss_blocks)

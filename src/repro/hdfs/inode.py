@@ -1,0 +1,64 @@
+"""HDFS INodes (files)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hdfs.block import Block, DEFAULT_BLOCK_SIZE
+
+
+class INode:
+    """A file: an ordered, immutable list of blocks.
+
+    HDFS files are read-only once written (Section II-A), so an INode's
+    block list never changes after :meth:`allocate_blocks`.
+    """
+
+    __slots__ = ("file_id", "name", "replication", "blocks", "created_at")
+
+    def __init__(
+        self,
+        file_id: int,
+        name: str,
+        replication: int = 3,
+        created_at: float = 0.0,
+    ) -> None:
+        if replication < 1:
+            raise ValueError("replication factor must be >= 1")
+        self.file_id = file_id
+        self.name = name
+        self.replication = replication
+        self.blocks: List[Block] = []
+        self.created_at = created_at
+
+    def allocate_blocks(
+        self, size_bytes: int, first_block_id: int, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> List[Block]:
+        """Split ``size_bytes`` of data into blocks (last may be partial)."""
+        if self.blocks:
+            raise ValueError(f"file {self.name!r} already has blocks (files are immutable)")
+        if size_bytes <= 0:
+            raise ValueError("file size must be positive")
+        blocks: List[Block] = []
+        remaining = size_bytes
+        idx = 0
+        while remaining > 0:
+            b = Block(first_block_id + idx, self, idx, min(block_size, remaining))
+            blocks.append(b)
+            remaining -= b.size_bytes
+            idx += 1
+        self.blocks = blocks
+        return blocks
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks."""
+        return len(self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total file size."""
+        return sum(b.size_bytes for b in self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<INode {self.name!r} {self.n_blocks} blocks rf={self.replication}>"

@@ -1,0 +1,216 @@
+"""NameNode: the HDFS metadata master."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.cluster.cluster import Cluster
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE, Block
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.inode import INode
+from repro.hdfs.placement import DefaultPlacementPolicy, PlacementPolicy
+from repro.hdfs.protocol import DNA_DYNREPL, DNA_INVALIDATE, DatanodeCommand
+
+
+class NameNode:
+    """Metadata master: namespace, block map, and replica bookkeeping.
+
+    The scheduler (and any other client) resolves block locations through
+    :meth:`locations`; that view is updated by DataNode heartbeats, so
+    DARE-created replicas become schedulable one heartbeat after insertion,
+    exactly as in the paper's modified Hadoop.  The NameNode tolerates
+    over-replicated blocks (implementation change (b) in Section V-A) —
+    dynamic replicas may push a block's replica count above the file's
+    nominal replication factor without triggering re-replication or pruning.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        placement: Optional[PlacementPolicy] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        self.cluster = cluster
+        self.block_size = block_size
+        self.files: Dict[str, INode] = {}
+        self.blocks: Dict[int, Block] = {}
+        self._locations: Dict[int, Set[int]] = {}
+        self.datanodes: Dict[int, DataNode] = {
+            n.node_id: DataNode(n) for n in cluster.slaves
+        }
+        self.placement: PlacementPolicy = placement or DefaultPlacementPolicy(
+            cluster.slave_ids,
+            cluster.topology,
+            cluster.streams.python("hdfs.placement"),
+        )
+        self._next_file_id = 0
+        self._next_block_id = 0
+        #: applied control messages, for tests / invariant checks
+        self.command_log: List[DatanodeCommand] = []
+
+    # -- namespace ----------------------------------------------------------
+
+    def create_file(
+        self,
+        name: str,
+        size_bytes: int,
+        replication: int = 3,
+        writer: Optional[int] = None,
+        now: float = 0.0,
+    ) -> INode:
+        """Create a file, allocate blocks, and place the static replicas."""
+        if name in self.files:
+            raise ValueError(f"file {name!r} already exists")
+        inode = INode(self._next_file_id, name, replication, created_at=now)
+        self._next_file_id += 1
+        blocks = inode.allocate_blocks(size_bytes, self._next_block_id, self.block_size)
+        self._next_block_id += len(blocks)
+        for block in blocks:
+            targets = self.placement.choose_targets(replication, writer)
+            self.blocks[block.block_id] = block
+            self._locations[block.block_id] = set(targets)
+            for t in targets:
+                self.datanodes[t].store_static(block)
+        self.files[name] = inode
+        return inode
+
+    def file(self, name: str) -> INode:
+        """Look up a file by name."""
+        try:
+            return self.files[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    def block(self, block_id: int) -> Block:
+        """Look up a block by id."""
+        return self.blocks[block_id]
+
+    # -- replica views --------------------------------------------------------
+
+    def locations(self, block_id: int) -> Set[int]:
+        """Node ids known (to the NameNode) to hold the block."""
+        return self._locations[block_id]
+
+    def is_local(self, block_id: int, node_id: int) -> bool:
+        """True when the NameNode's view places a replica on ``node_id``."""
+        return node_id in self._locations[block_id]
+
+    def replica_count(self, block_id: int) -> int:
+        """Current replica count in the NameNode's view."""
+        return len(self._locations[block_id])
+
+    def datanode(self, node_id: int) -> DataNode:
+        """The DataNode running on ``node_id``."""
+        return self.datanodes[node_id]
+
+    @property
+    def total_dataset_bytes(self) -> int:
+        """Sum of logical file sizes (one copy each, not counting replicas)."""
+        return sum(f.size_bytes for f in self.files.values())
+
+    # -- heartbeat control plane ----------------------------------------------
+
+    def process_heartbeat(self, node_id: int, now: float) -> List[DatanodeCommand]:
+        """Apply the control messages a heartbeating DataNode reports.
+
+        Returns the applied commands (useful for logging/tests).  This is
+        where ``DNA_DYNREPL`` replicas enter — and invalidated replicas
+        leave — the scheduler's location view.
+        """
+        dn = self.datanodes[node_id]
+        cmds = dn.drain_outbox()
+        for cmd in cmds:
+            cmd.validate()
+            if cmd.op == DNA_DYNREPL:
+                self._locations[cmd.block_id].add(node_id)
+            elif cmd.op == DNA_INVALIDATE:
+                self._locations[cmd.block_id].discard(node_id)
+        # physical lazy deletion happens when the node is idle enough to
+        # heartbeat, matching "blocks marked for deletion are lazily removed"
+        dn.complete_deletions()
+        if cmds:
+            self.command_log.extend(cmds)
+        return cmds
+
+    def flush_all_heartbeats(self, now: float = 0.0) -> None:
+        """Process a heartbeat from every DataNode (test/metric helper)."""
+        for node_id in self.datanodes:
+            self.process_heartbeat(node_id, now)
+
+    # -- failures -----------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> Dict[int, int]:
+        """Remove a dead DataNode from every block's location set.
+
+        Returns ``{block_id: remaining_replicas}`` for each block that lost
+        a replica — the input to re-replication.  The node's queued control
+        messages are dropped (a dead node never heartbeats again).
+        """
+        dn = self.datanodes[node_id]
+        dn.outbox.clear()
+        lost: Dict[int, int] = {}
+        for bid in list(dn.stored_block_ids()) + list(dn.pending_deletion):
+            locs = self._locations[bid]
+            if node_id in locs:
+                locs.discard(node_id)
+                lost[bid] = len(locs)
+        # also clear any stale location entries (e.g. announced replicas)
+        for bid, locs in self._locations.items():
+            if node_id in locs:
+                locs.discard(node_id)
+                lost[bid] = len(locs)
+        dn.static_blocks.clear()
+        dn.dynamic_blocks.clear()
+        dn.pending_deletion.clear()
+        dn.dynamic_bytes_used = 0
+        return lost
+
+    def under_replicated(self) -> Dict[int, int]:
+        """Blocks whose live replica count is below the file's factor."""
+        out: Dict[int, int] = {}
+        for bid, locs in self._locations.items():
+            rf = self.blocks[bid].inode.replication
+            if len(locs) < rf:
+                out[bid] = len(locs)
+        return out
+
+    def add_repaired_replica(self, block_id: int, node_id: int) -> None:
+        """Install a re-replicated block on a target node."""
+        block = self.blocks[block_id]
+        dn = self.datanodes[node_id]
+        if dn.has_block(block_id):
+            raise ValueError(f"node {node_id} already stores block {block_id}")
+        dn.store_static(block)
+        self._locations[block_id].add(node_id)
+
+    # -- integrity ---------------------------------------------------------------
+
+    def check_integrity(self) -> None:
+        """Assert the location map is consistent with DataNode contents.
+
+        The NameNode view may *lag* the DataNodes (pending announcements /
+        invalidations), but must never claim a replica that neither exists
+        nor is pending announcement, and every stored block must either be
+        in the view or awaiting its DNA_DYNREPL.
+        """
+        for block_id, locs in self._locations.items():
+            for node_id in locs:
+                dn = self.datanodes[node_id]
+                pending_inval = any(
+                    c.op == DNA_INVALIDATE and c.block_id == block_id for c in dn.outbox
+                ) or block_id in dn.pending_deletion
+                if not dn.has_block(block_id) and not pending_inval:
+                    raise AssertionError(
+                        f"NameNode claims block {block_id} on node {node_id}, "
+                        "but the DataNode does not store it"
+                    )
+        for node_id, dn in self.datanodes.items():
+            for bid in dn.stored_block_ids():
+                pending_ann = any(
+                    c.op == DNA_DYNREPL and c.block_id == bid for c in dn.outbox
+                )
+                if node_id not in self._locations[bid] and not pending_ann:
+                    raise AssertionError(
+                        f"node {node_id} stores block {bid} unknown to the NameNode"
+                    )

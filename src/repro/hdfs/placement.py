@@ -1,0 +1,118 @@
+"""Initial (static) replica placement policies.
+
+``DefaultPlacementPolicy`` mirrors Hadoop's rack-aware default: first replica
+on the writer's node (or a random node for files loaded from outside the
+cluster), second on a node in a different rack, third on a different node in
+the same rack as the second, and any further replicas on random nodes.  On a
+single-rack cluster (CCT) this degenerates to distinct random nodes, which is
+Hadoop's actual behaviour there too.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.cluster.topology import Topology
+
+
+class PlacementPolicy:
+    """Interface: choose target nodes for a new block's replicas."""
+
+    def choose_targets(
+        self,
+        n_replicas: int,
+        writer: Optional[int] = None,
+    ) -> List[int]:
+        """Return ``n_replicas`` distinct node ids."""
+        raise NotImplementedError
+
+
+class DefaultPlacementPolicy(PlacementPolicy):
+    """Hadoop's default rack-aware placement."""
+
+    def __init__(
+        self,
+        slave_ids: Sequence[int],
+        topology: Topology,
+        rng: random.Random,
+    ) -> None:
+        if not slave_ids:
+            raise ValueError("no slave nodes to place replicas on")
+        self.slave_ids = list(slave_ids)
+        self.topology = topology
+        self._rng = rng
+
+    def _random_slave(self, exclude: set) -> Optional[int]:
+        candidates = [n for n in self.slave_ids if n not in exclude]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    def _random_slave_in_rack(self, rack: int, exclude: set) -> Optional[int]:
+        candidates = [
+            n
+            for n in self.slave_ids
+            if n not in exclude and self.topology.rack_of[n] == rack
+        ]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    def _random_slave_off_rack(self, rack: int, exclude: set) -> Optional[int]:
+        candidates = [
+            n
+            for n in self.slave_ids
+            if n not in exclude and self.topology.rack_of[n] != rack
+        ]
+        if not candidates:
+            return None
+        return self._rng.choice(candidates)
+
+    def choose_targets(
+        self,
+        n_replicas: int,
+        writer: Optional[int] = None,
+    ) -> List[int]:
+        """Pick replica target nodes per the default policy."""
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        n_replicas = min(n_replicas, len(self.slave_ids))
+        chosen: List[int] = []
+        used: set = set()
+
+        # replica 1: writer node if it is a slave, else random
+        first = writer if writer in self.slave_ids else self._random_slave(used)
+        chosen.append(first)
+        used.add(first)
+        if len(chosen) == n_replicas:
+            return chosen
+
+        # replica 2: different rack if one exists
+        rack1 = int(self.topology.rack_of[first])
+        second = self._random_slave_off_rack(rack1, used)
+        if second is None:
+            second = self._random_slave(used)
+        if second is not None:
+            chosen.append(second)
+            used.add(second)
+        if len(chosen) >= n_replicas:
+            return chosen[:n_replicas]
+
+        # replica 3: same rack as replica 2
+        rack2 = int(self.topology.rack_of[chosen[-1]])
+        third = self._random_slave_in_rack(rack2, used)
+        if third is None:
+            third = self._random_slave(used)
+        if third is not None:
+            chosen.append(third)
+            used.add(third)
+
+        # replicas 4+: random remaining nodes
+        while len(chosen) < n_replicas:
+            nxt = self._random_slave(used)
+            if nxt is None:
+                break
+            chosen.append(nxt)
+            used.add(nxt)
+        return chosen

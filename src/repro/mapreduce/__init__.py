@@ -1,0 +1,35 @@
+"""MapReduce substrate: jobs, tasks, trackers, and the task time model.
+
+This models the Hadoop 0.21-era execution architecture the paper modified:
+
+* a **JobTracker** on the master accepts job submissions and delegates task
+  placement to a pluggable scheduler (FIFO or Fair — see
+  :mod:`repro.scheduling`);
+* **TaskTrackers** on every slave heartbeat the JobTracker every few
+  seconds, reporting free map/reduce slots and receiving task assignments;
+  the same heartbeat carries the DataNode's control-plane messages
+  (``DNA_DYNREPL`` / ``DNA_INVALIDATE``) to the NameNode;
+* **map tasks** process one block each; a data-local task streams the block
+  from local disk, a remote task fetches it from a replica holder over the
+  network (and this fetch is what DARE piggybacks on);
+* **reduce tasks** shuffle map output over the network, then write job
+  output through the HDFS replication pipeline.
+"""
+
+from repro.mapreduce.job import Job, JobSpec
+from repro.mapreduce.task import MapTask, ReduceTask, Locality, TaskState
+from repro.mapreduce.runtime import TaskTimeModel
+from repro.mapreduce.tasktracker import TaskTracker
+from repro.mapreduce.jobtracker import JobTracker
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "MapTask",
+    "ReduceTask",
+    "Locality",
+    "TaskState",
+    "TaskTimeModel",
+    "TaskTracker",
+    "JobTracker",
+]

@@ -1,0 +1,184 @@
+"""Job specification (trace entry) and runtime job state."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Set, Tuple
+
+from repro.hdfs.inode import INode
+from repro.hdfs.namenode import NameNode
+from repro.mapreduce.task import Locality, MapTask, ReduceTask, TaskState
+
+
+class JobSpec(NamedTuple):
+    """One trace entry — everything needed to replay a job.
+
+    The map count is implied by the input file (Hadoop launches one map per
+    block).  Shuffle/output sizes are expressed as ratios of the input
+    size, following the SWIM trace format's (input, shuffle, output) byte
+    triples.
+    """
+
+    job_id: int
+    submit_time: float
+    input_file: str
+    map_cpu_s: float = 4.0
+    n_reduces: int = 1
+    reduce_cpu_s: float = 4.0
+    shuffle_ratio: float = 0.4
+    output_ratio: float = 0.2
+
+    def validate(self) -> "JobSpec":
+        """Raise on malformed entries; return self."""
+        if self.submit_time < 0:
+            raise ValueError(f"job {self.job_id}: negative submit time")
+        if self.map_cpu_s < 0 or self.reduce_cpu_s < 0:
+            raise ValueError(f"job {self.job_id}: negative cpu time")
+        if self.n_reduces < 0:
+            raise ValueError(f"job {self.job_id}: negative reduce count")
+        if self.shuffle_ratio < 0 or self.output_ratio < 0:
+            raise ValueError(f"job {self.job_id}: negative data ratio")
+        return self
+
+
+class Job:
+    """Runtime state of a submitted job."""
+
+    __slots__ = (
+        "spec",
+        "inode",
+        "maps",
+        "reduces",
+        "pending_maps",
+        "pending_block_ids",
+        "running_maps",
+        "finished_maps",
+        "running_reduces",
+        "finished_reduces",
+        "locality_counts",
+        "submit_time",
+        "first_task_time",
+        "finish_time",
+        "delay_wait_started",
+        "delay_level",
+    )
+
+    def __init__(self, spec: JobSpec, inode: INode) -> None:
+        self.spec = spec
+        self.inode = inode
+        self.maps: List[MapTask] = [
+            MapTask(self, i, block) for i, block in enumerate(inode.blocks)
+        ]
+        self.reduces: List[ReduceTask] = [
+            ReduceTask(self, i) for i in range(spec.n_reduces)
+        ]
+        # pending maps kept as a list scanned at assignment time; jobs are
+        # small on average and the scan lets locality reflect the *current*
+        # NameNode view (which DARE keeps changing)
+        self.pending_maps: List[MapTask] = list(self.maps)
+        self.pending_block_ids: Set[int] = {t.block.block_id for t in self.maps}
+        self.running_maps = 0
+        self.finished_maps = 0
+        self.running_reduces = 0
+        self.finished_reduces = 0
+        self.locality_counts = [0, 0, 0]  # node-local, rack-local, remote
+        self.submit_time = spec.submit_time
+        self.first_task_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        # delay-scheduling bookkeeping (used by the Fair scheduler)
+        self.delay_wait_started: Optional[float] = None
+        self.delay_level = 0
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def n_maps(self) -> int:
+        """Number of map tasks (== number of input blocks)."""
+        return len(self.maps)
+
+    @property
+    def maps_done(self) -> bool:
+        """True when every map task completed."""
+        return self.finished_maps == len(self.maps)
+
+    @property
+    def done(self) -> bool:
+        """True when the whole job completed."""
+        return self.maps_done and self.finished_reduces == len(self.reduces)
+
+    @property
+    def has_pending_maps(self) -> bool:
+        """True when unassigned map tasks remain."""
+        return bool(self.pending_maps)
+
+    @property
+    def reduces_schedulable(self) -> bool:
+        """Reduces launch once the map phase finishes (no early shuffle)."""
+        return self.maps_done and any(
+            r.state is TaskState.PENDING for r in self.reduces
+        )
+
+    @property
+    def data_locality(self) -> float:
+        """Fraction of map tasks that ran data-local (the paper's metric)."""
+        launched = sum(self.locality_counts)
+        if launched == 0:
+            return 0.0
+        return self.locality_counts[Locality.NODE_LOCAL] / launched
+
+    @property
+    def turnaround(self) -> float:
+        """Submission-to-completion time (valid once done)."""
+        if self.finish_time is None:
+            raise ValueError(f"job {self.spec.job_id} has not finished")
+        return self.finish_time - self.submit_time
+
+    # -- task selection ------------------------------------------------------
+
+    def find_pending_map(
+        self, node_id: int, namenode: NameNode, max_level: Locality = Locality.REMOTE
+    ) -> Optional[Tuple[MapTask, Locality]]:
+        """Best pending map for a heartbeating node, up to ``max_level``.
+
+        Preference order is node-local, then rack-local, then any — the
+        same walk Hadoop's schedulers perform.  Locality is evaluated
+        against the NameNode's *current* replica view, so replicas DARE
+        announced a heartbeat ago immediately improve placement choices.
+        """
+        if not self.pending_maps:
+            return None
+        topo = namenode.cluster.topology
+        node_rack = topo.rack_of[node_id]
+        rack_candidate: Optional[MapTask] = None
+        for task in self.pending_maps:
+            locs = namenode.locations(task.block.block_id)
+            if node_id in locs:
+                return task, Locality.NODE_LOCAL
+            if max_level >= Locality.RACK_LOCAL and rack_candidate is None:
+                if any(topo.rack_of[n] == node_rack for n in locs):
+                    rack_candidate = task
+        if rack_candidate is not None and max_level >= Locality.RACK_LOCAL:
+            return rack_candidate, Locality.RACK_LOCAL
+        if max_level >= Locality.REMOTE:
+            return self.pending_maps[0], Locality.REMOTE
+        return None
+
+    def next_pending_reduce(self) -> Optional[ReduceTask]:
+        """First pending reduce task, if reduces are schedulable."""
+        if not self.reduces_schedulable:
+            return None
+        for r in self.reduces:
+            if r.state is TaskState.PENDING:
+                return r
+        return None
+
+    def take_map(self, task: MapTask) -> None:
+        """Move a map task from pending to running bookkeeping."""
+        self.pending_maps.remove(task)
+        self.pending_block_ids.discard(task.block.block_id)
+        self.running_maps += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Job {self.spec.job_id} maps={self.finished_maps}/{self.n_maps} "
+            f"reduces={self.finished_reduces}/{len(self.reduces)}>"
+        )

@@ -1,0 +1,77 @@
+"""Speculative execution of straggler map tasks.
+
+Hadoop launches a duplicate ("speculative") attempt of a task whose
+progress lags far behind its siblings; whichever attempt finishes first
+wins and the other is killed.  Stragglers in this simulator arise the same
+way they do in production — remote reads through congested or degraded
+links (especially on the virtualized cluster) — which makes speculation and
+DARE natural companions: DARE removes the slow remote reads that cause most
+speculation in the first place.
+
+The policy is the classic one (Hadoop 0.21 / the OSDI'08 formulation,
+simplified to map tasks): a task is a straggler once it has run longer than
+``slowdown_factor`` times the mean duration of the job's already-completed
+maps, provided enough siblings completed for the mean to be trustworthy and
+the task has no duplicate yet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.mapreduce.job import Job
+from repro.mapreduce.task import MapTask, TaskState
+
+
+class SpeculationPolicy:
+    """Decides which running map task (if any) deserves a duplicate."""
+
+    def __init__(
+        self,
+        slowdown_factor: float = 1.5,
+        min_completed: int = 3,
+    ) -> None:
+        if slowdown_factor <= 1.0:
+            raise ValueError("slowdown factor must exceed 1")
+        if min_completed < 1:
+            raise ValueError("need at least one completed sibling")
+        self.slowdown_factor = slowdown_factor
+        self.min_completed = min_completed
+
+    def job_mean_map_s(self, job: Job) -> Optional[float]:
+        """Mean duration of the job's completed maps (None if too few)."""
+        done = [t for t in job.maps if t.state is TaskState.DONE]
+        if len(done) < self.min_completed:
+            return None
+        return sum(t.duration for t in done) / len(done)
+
+    def pick_candidate(
+        self,
+        jobs: Iterable[Job],
+        now: float,
+        node_id: int,
+        has_duplicate: Callable[[MapTask], bool],
+    ) -> Optional[MapTask]:
+        """The slowest qualifying straggler, or None.
+
+        A candidate must be RUNNING, not already duplicated, not running on
+        the offering node itself, and past the slowdown threshold.
+        """
+        best: Optional[MapTask] = None
+        best_lag = 0.0
+        for job in jobs:
+            if job.finished_maps == len(job.maps):
+                continue
+            mean = self.job_mean_map_s(job)
+            if mean is None:
+                continue
+            threshold = self.slowdown_factor * mean
+            for task in job.maps:
+                if task.state is not TaskState.RUNNING:
+                    continue
+                if task.node_id == node_id or has_duplicate(task):
+                    continue
+                lag = (now - task.start_time) - threshold
+                if lag > 0 and lag > best_lag:
+                    best, best_lag = task, lag
+        return best

@@ -1,0 +1,97 @@
+"""Map and reduce task state."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.hdfs.block import Block
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.job import Job
+
+
+class TaskState(enum.Enum):
+    """Task lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class Locality(enum.IntEnum):
+    """Placement quality of a map task relative to its input block."""
+
+    NODE_LOCAL = 0
+    RACK_LOCAL = 1
+    REMOTE = 2
+
+
+class MapTask:
+    """One map task: processes one input block."""
+
+    __slots__ = (
+        "job",
+        "index",
+        "block",
+        "state",
+        "node_id",
+        "locality",
+        "source_node",
+        "start_time",
+        "finish_time",
+    )
+
+    def __init__(self, job: "Job", index: int, block: Block) -> None:
+        self.job = job
+        self.index = index
+        self.block = block
+        self.state = TaskState.PENDING
+        self.node_id: Optional[int] = None
+        self.locality: Optional[Locality] = None
+        #: replica holder the block was streamed from (None when local)
+        self.source_node: Optional[int] = None
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock task duration (valid once DONE)."""
+        if self.start_time is None or self.finish_time is None:
+            raise ValueError("task has not run")
+        return self.finish_time - self.start_time
+
+    @property
+    def data_local(self) -> bool:
+        """True when the task ran on a node holding its block."""
+        return self.locality is Locality.NODE_LOCAL
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MapTask j{self.job.spec.job_id}m{self.index} "
+            f"block={self.block.block_id} {self.state.value}>"
+        )
+
+
+class ReduceTask:
+    """One reduce task: shuffles map output, reduces, writes job output."""
+
+    __slots__ = ("job", "index", "state", "node_id", "start_time", "finish_time")
+
+    def __init__(self, job: "Job", index: int) -> None:
+        self.job = job
+        self.index = index
+        self.state = TaskState.PENDING
+        self.node_id: Optional[int] = None
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock task duration (valid once DONE)."""
+        if self.start_time is None or self.finish_time is None:
+            raise ValueError("task has not run")
+        return self.finish_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReduceTask j{self.job.spec.job_id}r{self.index} {self.state.value}>"

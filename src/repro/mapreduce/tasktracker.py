@@ -1,0 +1,94 @@
+"""TaskTracker: the per-slave heartbeat loop and slot accounting."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.node import Node
+from repro.simulation.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.jobtracker import JobTracker
+
+
+class TaskTracker:
+    """Runs on every slave: heartbeats the JobTracker for work.
+
+    Each heartbeat (1) delivers the co-located DataNode's control-plane
+    messages to the NameNode (announcing DARE replicas / invalidations) and
+    (2) offers free map/reduce slots to the scheduler.  Heartbeat phases are
+    staggered per node with a random offset, like real TaskTrackers whose
+    start times differ.
+    """
+
+    __slots__ = (
+        "node",
+        "jobtracker",
+        "engine",
+        "interval_s",
+        "free_map_slots",
+        "free_reduce_slots",
+        "heartbeats_sent",
+    )
+
+    def __init__(
+        self,
+        node: Node,
+        jobtracker: "JobTracker",
+        engine: Engine,
+        interval_s: float,
+        start_offset_s: float = 0.0,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self.node = node
+        self.jobtracker = jobtracker
+        self.engine = engine
+        self.interval_s = interval_s
+        self.free_map_slots = node.map_slots
+        self.free_reduce_slots = node.reduce_slots
+        self.heartbeats_sent = 0
+        engine.schedule(
+            engine.now + start_offset_s, self._heartbeat, f"hb-start:{node.hostname}"
+        )
+
+    @property
+    def node_id(self) -> int:
+        """Owning node id."""
+        return self.node.node_id
+
+    def _heartbeat(self) -> None:
+        if not self.node.alive:
+            return  # a dead TaskTracker stops heartbeating
+        self.heartbeats_sent += 1
+        self.jobtracker.heartbeat(self)
+        if not self.jobtracker.finished:
+            self.engine.schedule_in(
+                self.interval_s, self._heartbeat, f"hb:{self.node.hostname}"
+            )
+
+    # -- slot accounting (called by the JobTracker) -----------------------
+
+    def occupy_map_slot(self) -> None:
+        """Claim one map slot for a launching task."""
+        if self.free_map_slots <= 0:
+            raise RuntimeError(f"{self.node.hostname}: no free map slots")
+        self.free_map_slots -= 1
+
+    def release_map_slot(self) -> None:
+        """Return a map slot on task completion."""
+        if self.free_map_slots >= self.node.map_slots:
+            raise RuntimeError(f"{self.node.hostname}: map slot over-release")
+        self.free_map_slots += 1
+
+    def occupy_reduce_slot(self) -> None:
+        """Claim one reduce slot for a launching task."""
+        if self.free_reduce_slots <= 0:
+            raise RuntimeError(f"{self.node.hostname}: no free reduce slots")
+        self.free_reduce_slots -= 1
+
+    def release_reduce_slot(self) -> None:
+        """Return a reduce slot on task completion."""
+        if self.free_reduce_slots >= self.node.reduce_slots:
+            raise RuntimeError(f"{self.node.hostname}: reduce slot over-release")
+        self.free_reduce_slots += 1

@@ -1,0 +1,40 @@
+"""Evaluation metrics, matching Section V-A's definitions.
+
+* **data locality** — fraction of map tasks that ran on a node holding
+  their input block (the paper's main system metric);
+* **GMTT** — geometric mean of job turnaround times (Eq. 1);
+* **slowdown** — job running time divided by its running time on a free
+  cluster with 100 % data locality;
+* **popularity index / coefficient of variation** — per-node sum of
+  ``blockSize * blockPopularity`` and the cv of its distribution across
+  nodes (the replica-placement uniformity measure of Fig. 11);
+* **blocks created per job / disk writes** — the replication-overhead
+  metrics of Figs. 8–9 and the thrashing analysis.
+"""
+
+from repro.metrics.collector import JobRecord, MapRecord, MetricsCollector
+from repro.metrics.locality import LocalityStats, cluster_locality, mean_job_locality
+from repro.metrics.turnaround import geometric_mean_turnaround
+from repro.metrics.slowdown import ideal_turnaround, mean_slowdown, slowdowns
+from repro.metrics.placement import coefficient_of_variation, popularity_indices
+from repro.metrics.hotspots import HotspotSummary, load_timeline, summarize_hotspots
+from repro.metrics.traffic import TrafficMeter
+
+__all__ = [
+    "MetricsCollector",
+    "MapRecord",
+    "JobRecord",
+    "LocalityStats",
+    "cluster_locality",
+    "mean_job_locality",
+    "geometric_mean_turnaround",
+    "ideal_turnaround",
+    "slowdowns",
+    "mean_slowdown",
+    "popularity_indices",
+    "coefficient_of_variation",
+    "HotspotSummary",
+    "load_timeline",
+    "summarize_hotspots",
+    "TrafficMeter",
+]

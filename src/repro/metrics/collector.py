@@ -1,0 +1,97 @@
+"""Run-time metric collection."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+from repro.mapreduce.job import Job
+from repro.mapreduce.task import MapTask, ReduceTask
+
+
+class MapRecord(NamedTuple):
+    """One completed map task."""
+
+    job_id: int
+    start_time: float
+    duration: float
+    locality: int  # Locality enum value: 0 node, 1 rack, 2 remote
+    node_id: int
+
+
+class JobRecord(NamedTuple):
+    """One completed job."""
+
+    job_id: int
+    submit_time: float
+    first_task_time: float
+    finish_time: float
+    n_maps: int
+    n_reduces: int
+    locality_counts: Tuple[int, int, int]
+    input_bytes: int
+
+    @property
+    def turnaround(self) -> float:
+        """Submission-to-completion time."""
+        return self.finish_time - self.submit_time
+
+    @property
+    def data_locality(self) -> float:
+        """Fraction of this job's maps that ran node-local."""
+        total = sum(self.locality_counts)
+        return self.locality_counts[0] / total if total else 0.0
+
+
+class MetricsCollector:
+    """Accumulates task- and job-level records during a run."""
+
+    def __init__(self) -> None:
+        self.map_records: List[MapRecord] = []
+        self.reduce_durations: List[float] = []
+        self.job_records: List[JobRecord] = []
+
+    # -- hooks called by the JobTracker -----------------------------------
+
+    def on_map_complete(self, task: MapTask) -> None:
+        """Record a finished map task."""
+        self.map_records.append(
+            MapRecord(
+                task.job.spec.job_id,
+                task.start_time,
+                task.duration,
+                int(task.locality),
+                task.node_id,
+            )
+        )
+
+    def on_reduce_complete(self, task: ReduceTask) -> None:
+        """Record a finished reduce task."""
+        self.reduce_durations.append(task.duration)
+
+    def on_job_complete(self, job: Job) -> None:
+        """Record a finished job."""
+        self.job_records.append(
+            JobRecord(
+                job.spec.job_id,
+                job.submit_time,
+                job.first_task_time if job.first_task_time is not None else job.submit_time,
+                job.finish_time,
+                job.n_maps,
+                len(job.reduces),
+                tuple(job.locality_counts),
+                job.inode.size_bytes,
+            )
+        )
+
+    # -- simple aggregates ---------------------------------------------------
+
+    @property
+    def n_jobs(self) -> int:
+        """Completed job count."""
+        return len(self.job_records)
+
+    def mean_map_duration(self) -> float:
+        """Mean completion time of map tasks (Section V-C's extra metric)."""
+        if not self.map_records:
+            raise ValueError("no map records")
+        return sum(r.duration for r in self.map_records) / len(self.map_records)

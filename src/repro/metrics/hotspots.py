@@ -1,0 +1,89 @@
+"""Compute-side hotspot analysis.
+
+Fig. 11 measures placement uniformity in *storage* terms (popularity
+indices of the blocks each node holds).  The complementary compute-side
+question — Scarlett's stated motivation — is whether task load piles onto
+the replica holders of hot files.  This module reconstructs per-node
+concurrent-map-load timelines from the collector's task records and
+summarizes their skew, so experiments can show DARE flattening compute
+hotspots, not just storage ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Tuple
+
+import numpy as np
+
+from repro.metrics.collector import MapRecord
+
+
+def load_timeline(
+    records: Iterable[MapRecord], node_ids: Iterable[int]
+) -> Tuple[np.ndarray, Dict[int, np.ndarray]]:
+    """Per-node concurrent running-map counts over event times.
+
+    Returns ``(times, {node_id: load_at_each_time})`` where times are the
+    sorted task start/finish instants (a step function's breakpoints).
+    """
+    records = list(records)
+    if not records:
+        raise ValueError("no map records")
+    node_ids = list(node_ids)
+    events: List[Tuple[float, int, int]] = []  # (time, delta, node)
+    for r in records:
+        events.append((r.start_time, +1, r.node_id))
+        events.append((r.start_time + r.duration, -1, r.node_id))
+    events.sort()
+    # coalesce simultaneous events: one sample per distinct instant, taken
+    # after every delta at that instant applied (no phantom intermediate
+    # states when a wave of tasks starts together)
+    unique_times: List[float] = []
+    samples: Dict[int, List[int]] = {n: [] for n in node_ids}
+    current = {n: 0 for n in node_ids}
+    i = 0
+    while i < len(events):
+        t = events[i][0]
+        while i < len(events) and events[i][0] == t:
+            _, delta, node = events[i]
+            if node in current:
+                current[node] += delta
+            i += 1
+        unique_times.append(t)
+        for n in node_ids:
+            samples[n].append(current[n])
+    times = np.asarray(unique_times)
+    loads = {n: np.asarray(v, dtype=np.int64) for n, v in samples.items()}
+    return times, loads
+
+
+class HotspotSummary(NamedTuple):
+    """Skew statistics of the per-node compute load."""
+
+    #: highest concurrent map count seen on any single node
+    peak_node_load: int
+    #: mean over time of (hottest node's load / mean node load), busy times only
+    mean_imbalance: float
+    #: fraction of busy time during which one node carries >2x the mean load
+    hotspot_time_fraction: float
+
+
+def summarize_hotspots(
+    records: Iterable[MapRecord], node_ids: Iterable[int]
+) -> HotspotSummary:
+    """Reduce the load timeline to the three headline skew numbers."""
+    times, loads = load_timeline(records, node_ids)
+    matrix = np.stack([loads[n] for n in sorted(loads)])  # nodes x events
+    totals = matrix.sum(axis=0)
+    busy = totals > 0
+    if not busy.any():
+        raise ValueError("cluster never ran a task")
+    peak = int(matrix.max())
+    mean_load = totals[busy] / matrix.shape[0]
+    max_load = matrix[:, busy].max(axis=0)
+    imbalance = max_load / mean_load
+    return HotspotSummary(
+        peak_node_load=peak,
+        mean_imbalance=float(imbalance.mean()),
+        hotspot_time_fraction=float((imbalance > 2.0).mean()),
+    )

@@ -1,0 +1,49 @@
+"""Data-locality aggregates."""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+from repro.metrics.collector import JobRecord
+
+
+class LocalityStats(NamedTuple):
+    """Cluster-wide task-placement breakdown."""
+
+    node_local: int
+    rack_local: int
+    remote: int
+
+    @property
+    def total(self) -> int:
+        """Launched map tasks."""
+        return self.node_local + self.rack_local + self.remote
+
+    @property
+    def locality(self) -> float:
+        """Fraction data-local — the paper's headline metric."""
+        return self.node_local / self.total if self.total else 0.0
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of maps that had to fetch their block over the network."""
+        return (self.rack_local + self.remote) / self.total if self.total else 0.0
+
+
+def cluster_locality(jobs: Iterable[JobRecord]) -> LocalityStats:
+    """Aggregate task placement over all jobs' locality counters."""
+    node = rack = remote = 0
+    for rec in jobs:
+        node += rec.locality_counts[0]
+        rack += rec.locality_counts[1]
+        remote += rec.locality_counts[2]
+    return LocalityStats(node, rack, remote)
+
+
+def mean_job_locality(jobs: Iterable[JobRecord]) -> float:
+    """Unweighted mean of per-job locality (Fig. 7a's "data locality of
+    jobs"), which gives small jobs the same weight as large ones."""
+    fractions = [rec.data_locality for rec in jobs]
+    if not fractions:
+        raise ValueError("no job records")
+    return sum(fractions) / len(fractions)

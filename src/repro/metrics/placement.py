@@ -1,0 +1,58 @@
+"""Replica-placement uniformity (Fig. 11).
+
+Section V-A: "we assign a popularity value to each file based on its access
+count for each workload.  We calculate the popularity index (PI) of data
+node i as sum_j blockSize_j * blockPopularity_j, for every block j in i...
+As a measure of the uniformity of this distribution, we use the coefficient
+of variation (cv = sigma / |mu|)."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.hdfs.namenode import NameNode
+from repro.mapreduce.job import JobSpec
+
+
+def file_access_counts(specs: Iterable[JobSpec]) -> Counter:
+    """Access count per file name for a workload trace."""
+    return Counter(spec.input_file for spec in specs)
+
+
+def popularity_indices(
+    namenode: NameNode, access_counts: Dict[str, int]
+) -> np.ndarray:
+    """PI of every slave node, ordered by node id.
+
+    Block popularity is the owning file's access count; blocks of files the
+    workload never reads contribute zero, matching the paper's
+    workload-specific popularity assignment.
+    """
+    file_pop = {
+        inode.file_id: access_counts.get(name, 0)
+        for name, inode in namenode.files.items()
+    }
+    pis: List[float] = []
+    for node_id in sorted(namenode.datanodes):
+        dn = namenode.datanodes[node_id]
+        pi = 0.0
+        for bid in dn.stored_block_ids():
+            block = namenode.block(bid)
+            pi += block.size_bytes * file_pop[block.file_id]
+        pis.append(pi)
+    return np.asarray(pis)
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """cv = sigma / |mu|; smaller means more uniform."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("empty distribution")
+    mu = values.mean()
+    if mu == 0:
+        raise ValueError("zero-mean distribution has undefined cv")
+    return float(values.std() / abs(mu))

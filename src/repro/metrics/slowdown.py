@@ -1,0 +1,75 @@
+"""Job slowdown vs. a dedicated cluster.
+
+Section V-A: "the slowdown of a job is defined as its running time on a
+loaded system divided by the running time on a dedicated system; for the
+case of Hadoop, we calculate the latter as the running time (job completion
+time - job arrival time) in a completely free Hadoop cluster with 100% data
+locality."
+
+The dedicated-cluster runtime is computed with a wave model: map tasks run
+in ``ceil(maps / cluster map slots)`` waves of the ideal (local-read) map
+duration, then reduces in ``ceil(reduces / cluster reduce slots)`` waves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+from repro.cluster.cluster import Cluster
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.runtime import TaskTimeModel
+from repro.metrics.collector import JobRecord
+
+
+def ideal_turnaround(
+    spec: JobSpec,
+    input_bytes: int,
+    n_blocks: int,
+    cluster: Cluster,
+    time_model: TaskTimeModel,
+) -> float:
+    """Running time on a free cluster with 100% locality."""
+    map_slots = cluster.total_map_slots
+    reduce_slots = max(1, cluster.total_reduce_slots)
+    block_bytes = input_bytes // max(1, n_blocks)
+    t_map = time_model.ideal_map_seconds(block_bytes, spec.map_cpu_s)
+    waves = math.ceil(n_blocks / max(1, map_slots))
+    total = waves * t_map
+    if spec.n_reduces > 0:
+        shuffle = int(input_bytes * spec.shuffle_ratio / spec.n_reduces)
+        output = int(input_bytes * spec.output_ratio / spec.n_reduces)
+        t_red = time_model.ideal_reduce_seconds(shuffle, output, spec.reduce_cpu_s)
+        total += math.ceil(spec.n_reduces / reduce_slots) * t_red
+    # even on a free cluster a task waits for a heartbeat to be scheduled
+    total += cluster.spec.heartbeat_s
+    return total
+
+
+def slowdowns(
+    records: Iterable[JobRecord],
+    specs_by_id: Dict[int, JobSpec],
+    cluster: Cluster,
+    time_model: TaskTimeModel,
+) -> List[float]:
+    """Per-job slowdown factors (>= can dip slightly below 1 only through
+    model noise; the dedicated-runtime estimate is deterministic)."""
+    out: List[float] = []
+    for rec in records:
+        spec = specs_by_id[rec.job_id]
+        ideal = ideal_turnaround(spec, rec.input_bytes, rec.n_maps, cluster, time_model)
+        out.append(rec.turnaround / ideal)
+    return out
+
+
+def mean_slowdown(
+    records: Iterable[JobRecord],
+    specs_by_id: Dict[int, JobSpec],
+    cluster: Cluster,
+    time_model: TaskTimeModel,
+) -> float:
+    """Mean slowdown over the workload (Fig. 7c / 10c)."""
+    values = slowdowns(records, specs_by_id, cluster, time_model)
+    if not values:
+        raise ValueError("no job records")
+    return sum(values) / len(values)

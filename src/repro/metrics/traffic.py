@@ -1,0 +1,63 @@
+"""Network-traffic accounting.
+
+Data locality matters because every non-local map read crosses the (often
+oversubscribed) network fabric; the paper motivates DARE partly through
+reduced network traffic and its energy implications (Section V-B).  This
+meter attributes every byte the simulated cluster moves to a category so
+experiments can report exactly how much traffic DARE removes — and how much
+a proactive baseline like Scarlett *adds*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class TrafficMeter:
+    """Byte counters per traffic category."""
+
+    #: traffic categories, in reporting order
+    CATEGORIES = (
+        "remote_map_reads",   # block fetches by non-data-local map tasks
+        "shuffle",            # map output pulled by reducers
+        "output_pipeline",    # HDFS write pipeline for job output (rf-1 hops)
+        "rebalancing",        # proactive replication (Scarlett-style epochs)
+        "re_replication",     # repair traffic after node failures
+    )
+
+    def __init__(self) -> None:
+        self._bytes: Dict[str, int] = {c: 0 for c in self.CATEGORIES}
+
+    def record(self, category: str, nbytes: int) -> None:
+        """Attribute ``nbytes`` of network transfer to ``category``."""
+        if category not in self._bytes:
+            raise KeyError(f"unknown traffic category {category!r}")
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        self._bytes[category] += nbytes
+
+    def bytes(self, category: str) -> int:
+        """Bytes moved in one category."""
+        return self._bytes[category]
+
+    @property
+    def total_bytes(self) -> int:
+        """All network bytes moved during the run."""
+        return sum(self._bytes.values())
+
+    @property
+    def by_category(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._bytes)
+
+    def gigabytes(self, category: str) -> float:
+        """Convenience: GB in one category."""
+        return self._bytes[category] / 1e9
+
+    def report(self) -> str:
+        """Printable breakdown."""
+        lines = ["network traffic (GB):"]
+        for c in self.CATEGORIES:
+            lines.append(f"  {c:<18s} {self._bytes[c] / 1e9:10.2f}")
+        lines.append(f"  {'total':<18s} {self.total_bytes / 1e9:10.2f}")
+        return "\n".join(lines)

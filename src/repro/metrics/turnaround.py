@@ -1,0 +1,28 @@
+"""Geometric mean turnaround time (Eq. 1).
+
+The paper uses the geometric rather than arithmetic mean "because the
+latter is dominated by long jobs".  Computed in log space to avoid overflow
+on long traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.metrics.collector import JobRecord
+
+
+def geometric_mean_turnaround(jobs: Iterable[JobRecord]) -> float:
+    """GMTT = (prod_k TT_k)^(1/|K|) over the completed jobs."""
+    log_sum = 0.0
+    n = 0
+    for rec in jobs:
+        tt = rec.turnaround
+        if tt <= 0:
+            raise ValueError(f"job {rec.job_id} has nonpositive turnaround {tt}")
+        log_sum += math.log(tt)
+        n += 1
+    if n == 0:
+        raise ValueError("no job records")
+    return math.exp(log_sum / n)

@@ -1,0 +1,21 @@
+"""Pluggable MapReduce schedulers.
+
+DARE is scheduler-agnostic; the paper evaluates it under Hadoop's two stock
+schedulers, both modeled here:
+
+* :class:`~repro.scheduling.fifo.FifoScheduler` — Hadoop's default
+  JobQueueTaskScheduler: strict job-submission order, preferring node-local
+  then rack-local tasks *within* the head job but never delaying a launch
+  for locality;
+* :class:`~repro.scheduling.fair.FairScheduler` — max-min fair sharing over
+  jobs with **delay scheduling** [Zaharia et al., EuroSys'10]: a job whose
+  turn yields no node-local task on the offering node is skipped for up to
+  ``node_delay_s`` (then allowed rack-local, then after ``rack_delay_s``
+  more, any placement).
+"""
+
+from repro.scheduling.base import Scheduler
+from repro.scheduling.fifo import FifoScheduler
+from repro.scheduling.fair import FairScheduler, SkipCountFairScheduler
+
+__all__ = ["Scheduler", "FifoScheduler", "FairScheduler", "SkipCountFairScheduler"]

@@ -1,0 +1,63 @@
+"""Scheduler interface."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.mapreduce.job import Job
+from repro.mapreduce.task import Locality, MapTask, ReduceTask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hdfs.namenode import NameNode
+    from repro.mapreduce.jobtracker import JobTracker
+
+#: what pick_map returns: the job, the chosen task, and the locality level
+#: the scheduler *believes* the placement has (per the NameNode view)
+MapPick = Tuple[Job, MapTask, Locality]
+ReducePick = Tuple[Job, ReduceTask]
+
+
+class Scheduler:
+    """Base class: tracks the active job set, defines the picking API.
+
+    The JobTracker calls :meth:`pick_map` / :meth:`pick_reduce` repeatedly
+    during a heartbeat while the offering node has free slots; returning
+    ``None`` ends the assignment round for that slot type.
+    """
+
+    def __init__(self) -> None:
+        self.jobtracker: Optional["JobTracker"] = None
+        self.active_jobs: List[Job] = []
+
+    def bind(self, jobtracker: "JobTracker") -> None:
+        """Attach to a JobTracker (called once by its constructor)."""
+        self.jobtracker = jobtracker
+
+    @property
+    def namenode(self) -> "NameNode":
+        """The NameNode whose replica view drives locality decisions."""
+        assert self.jobtracker is not None
+        return self.jobtracker.namenode
+
+    # -- job lifecycle ------------------------------------------------------
+
+    def job_added(self, job: Job) -> None:
+        """A job was submitted."""
+        self.active_jobs.append(job)
+
+    def job_finished(self, job: Job) -> None:
+        """A job completed; drop it from consideration."""
+        try:
+            self.active_jobs.remove(job)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    # -- picking ---------------------------------------------------------------
+
+    def pick_map(self, node_id: int, now: float) -> Optional[MapPick]:
+        """Choose a map task for a free map slot on ``node_id``."""
+        raise NotImplementedError
+
+    def pick_reduce(self, node_id: int, now: float) -> Optional[ReducePick]:
+        """Choose a reduce task for a free reduce slot on ``node_id``."""
+        raise NotImplementedError

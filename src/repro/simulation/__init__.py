@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately minimal: a binary-heap event queue keyed on
+``(time, sequence)`` with stable FIFO ordering for simultaneous events, a
+simulation engine that drives callbacks, and seeded random-stream helpers so
+that every experiment in the repository is deterministic.
+
+The engine knows nothing about clusters, HDFS or MapReduce; those substrates
+schedule events through :class:`Engine` and react in callbacks.
+"""
+
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.engine import Engine, SimulationError
+from repro.simulation.rng import RandomStreams, derive_seed
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Engine",
+    "SimulationError",
+    "RandomStreams",
+    "derive_seed",
+]

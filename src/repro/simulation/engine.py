@@ -1,0 +1,111 @@
+"""The simulation engine: a clock plus the event loop."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """Drives a discrete-event simulation.
+
+    The engine owns the clock.  Components schedule work with
+    :meth:`schedule` / :meth:`schedule_in` and the engine fires callbacks in
+    nondecreasing time order.  The loop stops when the queue drains, when
+    ``until`` is reached, or when :meth:`stop` is called from a callback.
+
+    Example
+    -------
+    >>> eng = Engine()
+    >>> fired = []
+    >>> _ = eng.schedule(5.0, lambda: fired.append(eng.now))
+    >>> eng.run()
+    >>> fired
+    [5.0]
+    """
+
+    __slots__ = ("now", "_queue", "_running", "_stopped", "events_processed", "max_events")
+
+    def __init__(self, max_events: int = 200_000_000) -> None:
+        self.now: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+        #: hard safety limit against runaway simulations
+        self.max_events = max_events
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule {label!r} at t={time} in the past (now={self.now})"
+            )
+        return self._queue.push(time, action, label)
+
+    def schedule_in(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label!r}")
+        return self._queue.push(self.now + delay, action, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self._queue.cancel(event)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or stopped.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        if the simulation would otherwise end earlier, mirroring SimPy's
+        semantics so periodic processes can be resumed by a later ``run``.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                next_time = self._queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self.now = until
+                    return
+                ev = self._queue.pop()
+                if ev is None:
+                    break
+                self.now = ev.time
+                self.events_processed += 1
+                if self.events_processed > self.max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self.max_events}; runaway simulation?"
+                    )
+                ev.action()
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the event loop to stop after the current callback."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock (for reuse in tests)."""
+        self._queue.clear()
+        self.now = 0.0
+        self.events_processed = 0
+        self._stopped = False

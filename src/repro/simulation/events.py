@@ -1,0 +1,107 @@
+"""Event objects and the event queue.
+
+Events are small, immutable-ish records ordered by ``(time, seq)``.  ``seq``
+is a global monotonically increasing counter assigned at scheduling time, so
+events scheduled earlier run earlier among ties — this gives the simulator
+deterministic, insertion-ordered tie-breaking, which matters for
+reproducibility of heartbeat races.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds) at which the event fires.
+    seq:
+        Scheduling sequence number; ties on ``time`` break by ``seq``.
+    action:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Human-readable tag used in traces and error messages.
+    cancelled:
+        Lazily-cancelled events stay in the heap but are skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "action", "label", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None], label: str = ""):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it (lazy deletion)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.3f} seq={self.seq} {self.label!r}{state}>"
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` with lazy cancellation."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        ev = Event(time, self._seq, action, label)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (O(1), lazy)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Pop and return the earliest live event, or None if empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if not ev.cancelled:
+                self._live -= 1
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def clear(self) -> None:
+        """Drop all events."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,72 @@
+"""Deterministic random-stream management.
+
+Every stochastic component (workload synthesis, network jitter, ElephantTrap
+coin tosses, placement choices, ...) draws from its *own* named stream derived
+from a single experiment seed.  This keeps components statistically
+independent and — crucially for the sensitivity sweeps — means changing one
+parameter does not perturb the random draws of unrelated components.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 63-bit child seed from ``root_seed`` and a stream name.
+
+    Uses BLAKE2b so the mapping is stable across Python versions and
+    platforms (``hash()`` is salted per-process and unusable here).
+    """
+    digest = hashlib.blake2b(
+        f"{root_seed}:{name}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+class RandomStreams:
+    """A factory of named, independent random generators.
+
+    Two kinds of generators are provided:
+
+    * :meth:`numpy` — ``numpy.random.Generator`` for vectorized draws
+      (workload synthesis, metric bootstraps);
+    * :meth:`python` — ``random.Random`` for cheap scalar draws on the hot
+      simulation path (a single ``random.Random.random()`` call is ~4x
+      faster than ``Generator.random()`` for scalars).
+
+    Repeated requests for the same name return the same generator object.
+    """
+
+    def __init__(self, root_seed: int = 20110926) -> None:
+        # default root seed: CLUSTER 2011 conference start date
+        self.root_seed = int(root_seed)
+        self._numpy: Dict[str, np.random.Generator] = {}
+        self._python: Dict[str, random.Random] = {}
+
+    def numpy(self, name: str) -> np.random.Generator:
+        """Return the named NumPy generator (created on first use)."""
+        gen = self._numpy.get(name)
+        if gen is None:
+            gen = np.random.default_rng(derive_seed(self.root_seed, name))
+            self._numpy[name] = gen
+        return gen
+
+    def python(self, name: str) -> random.Random:
+        """Return the named stdlib generator (created on first use)."""
+        gen = self._python.get(name)
+        if gen is None:
+            gen = random.Random(derive_seed(self.root_seed, name))
+            self._python[name] = gen
+        return gen
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Create a child stream-factory with an independent root seed."""
+        return RandomStreams(derive_seed(self.root_seed, f"spawn:{name}"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomStreams(root_seed={self.root_seed})"

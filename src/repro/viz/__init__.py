@@ -1,0 +1,11 @@
+"""Figure rendering.
+
+A small, dependency-free SVG charting layer
+(:mod:`repro.viz.svg`) plus one renderer per paper figure
+(:mod:`repro.viz.paper_figures`), so ``python -m repro render`` can
+regenerate the evaluation's plots as actual images without matplotlib.
+"""
+
+from repro.viz.svg import SvgCanvas, bar_chart, grouped_bar_chart, line_chart
+
+__all__ = ["SvgCanvas", "bar_chart", "grouped_bar_chart", "line_chart"]

@@ -1,0 +1,247 @@
+"""Render every evaluation figure to SVG.
+
+One function per figure takes the corresponding driver's data (or computes
+it) and returns an SVG string; :func:`render_all` writes the full set to a
+directory, giving the reproduction actual images to diff against the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.experiments import figures as drivers
+from repro.experiments.tables import fig1_hop_distribution
+from repro.viz.svg import bar_chart, grouped_bar_chart, line_chart
+
+DEFAULT_SEED = drivers.DEFAULT_SEED
+
+
+def fig1_svg(seed: int = DEFAULT_SEED) -> str:
+    """Fig. 1: hop-count distribution between EC2 node pairs."""
+    hist = fig1_hop_distribution(seed)
+    labels = [str(h) for h in range(len(hist))]
+    return bar_chart(
+        labels,
+        list(hist),
+        title="Fig. 1 — hops between EC2 node pairs",
+        ylabel="proportion of node pairs",
+    )
+
+
+def fig2_svg(seed: int = DEFAULT_SEED) -> str:
+    """Fig. 2: file popularity vs rank (log-log)."""
+    pop = drivers.fig2_popularity(seed)
+    series = []
+    for key in ("raw", "weighted"):
+        vals = pop[key]
+        pts = [(float(r + 1), float(v)) for r, v in enumerate(vals) if v > 0]
+        series.append((key, pts[:: max(1, len(pts) // 300)]))
+    return line_chart(
+        series,
+        title="Fig. 2 — accesses per file by rank",
+        xlabel="file rank",
+        ylabel="number of accesses",
+        xlog=True,
+        ylog=True,
+    )
+
+
+def fig3_svg(seed: int = DEFAULT_SEED) -> str:
+    """Fig. 3: CDF of file age at access."""
+    out = drivers.fig3_age_cdf(seed)
+    pts = list(zip(out["grid_hours"].tolist(), out["cdf"].tolist()))
+    return line_chart(
+        [("all accesses", pts)],
+        title="Fig. 3 — CDF of file age at access",
+        xlabel="file age (hours)",
+        ylabel="fraction of accesses",
+        y_range=(0.0, 1.0),
+    )
+
+
+def _window_series(panels: Dict, keys=("unweighted", "weighted")) -> List:
+    series = []
+    for key in keys:
+        sizes, frac = panels[key]
+        pts = [(float(s), float(f)) for s, f in zip(sizes, frac) if f > 0]
+        series.append((key, pts))
+    return series
+
+
+def fig4_svg(seed: int = DEFAULT_SEED) -> str:
+    """Fig. 4: 80%-access windows over the week (log y)."""
+    panels = drivers.fig4_windows(seed)
+    return line_chart(
+        _window_series(panels),
+        title="Fig. 4 — smallest window with 80% of accesses (week)",
+        xlabel="window size (hours)",
+        ylabel="fraction of files",
+        ylog=True,
+    )
+
+
+def fig5_svg(seed: int = DEFAULT_SEED) -> str:
+    """Fig. 5: the same analysis within day 2."""
+    panels = drivers.fig5_windows_day(seed)
+    return line_chart(
+        _window_series(panels),
+        title="Fig. 5 — 80% windows within day 2",
+        xlabel="window size (hours)",
+        ylabel="fraction of files",
+        ylog=True,
+    )
+
+
+def fig6_svg(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> str:
+    """Fig. 6: access CDF of the experiment workload."""
+    cdf = drivers.fig6_access_cdf(n_jobs, seed)
+    pts = [(float(r + 1), float(c)) for r, c in enumerate(cdf)]
+    return line_chart(
+        [("access CDF", pts)],
+        title="Fig. 6 — experiment workload access CDF",
+        xlabel="file rank",
+        ylabel="probability",
+        y_range=(0.0, 1.0),
+    )
+
+
+def _cells_to_bars(cells, metric: str, title: str, ylabel: str) -> str:
+    groups = [f"{c.scheduler}({c.workload})" for c in cells]
+    series = [
+        (policy, [getattr(c, metric)[policy] for c in cells])
+        for policy in drivers.POLICY_LABELS
+    ]
+    return grouped_bar_chart(groups, series, title=title, ylabel=ylabel)
+
+
+def fig7_svgs(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> Dict[str, str]:
+    """Fig. 7a-c as three grouped bar charts."""
+    cells = drivers.fig7_cct(n_jobs, seed)
+    return {
+        "fig7a_locality": _cells_to_bars(
+            cells, "locality", "Fig. 7a — data locality (CCT)", "job data locality"
+        ),
+        "fig7b_gmtt": _cells_to_bars(
+            cells, "gmtt_normalized", "Fig. 7b — normalized GMTT (CCT)",
+            "GMTT / vanilla",
+        ),
+        "fig7c_slowdown": _cells_to_bars(
+            cells, "slowdown", "Fig. 7c — mean slowdown (CCT)", "slowdown"
+        ),
+    }
+
+
+def _sweep_svgs(points, title: str, xlabel: str) -> Dict[str, str]:
+    """The paper stacks a locality panel over a blocks-created panel; we
+    render the two panels as separate SVG documents."""
+    loc_series = []
+    blk_series = []
+    for sched in ("fifo", "fair"):
+        loc_series.append(
+            (sched, [(p.x, 100 * p.locality) for p in points if p.scheduler == sched])
+        )
+        blk_series.append(
+            (sched, [(p.x, p.blocks_per_job) for p in points if p.scheduler == sched])
+        )
+    return {
+        "locality": line_chart(loc_series, title=title + " — locality",
+                               xlabel=xlabel, ylabel="data locality (%)",
+                               y_range=(0, 100)),
+        "blocks": line_chart(blk_series, title=title + " — replication cost",
+                             xlabel=xlabel, ylabel="avg blocks created per job"),
+    }
+
+
+def fig8_svgs(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> Dict[str, str]:
+    """Fig. 8a/8b sensitivity sweeps."""
+    out: Dict[str, str] = {}
+    for panel, svg in _sweep_svgs(
+        drivers.fig8a_p_sweep(n_jobs=n_jobs, seed=seed),
+        "Fig. 8a — ElephantTrap probability p", "p",
+    ).items():
+        out[f"fig8a_p_{panel}"] = svg
+    for panel, svg in _sweep_svgs(
+        drivers.fig8b_threshold_sweep(n_jobs=n_jobs, seed=seed),
+        "Fig. 8b — aging threshold", "threshold",
+    ).items():
+        out[f"fig8b_threshold_{panel}"] = svg
+    return out
+
+
+def fig9_svgs(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> Dict[str, str]:
+    """Fig. 9a/9b budget sweeps."""
+    out: Dict[str, str] = {}
+    for panel, svg in _sweep_svgs(
+        drivers.fig9a_budget_sweep_lru(n_jobs=n_jobs, seed=seed),
+        "Fig. 9a — budget (greedy LRU)", "budget",
+    ).items():
+        out[f"fig9a_budget_lru_{panel}"] = svg
+    for p, points in drivers.fig9b_budget_sweep_et(
+        n_jobs=n_jobs, seed=seed
+    ).items():
+        tag = f"fig9b_budget_et_p{str(p).replace('.', '')}"
+        for panel, svg in _sweep_svgs(
+            points, f"Fig. 9b — budget (ElephantTrap p={p})", "budget"
+        ).items():
+            out[f"{tag}_{panel}"] = svg
+    return out
+
+
+def fig10_svgs(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> Dict[str, str]:
+    """Fig. 10a-c on the EC2 cluster."""
+    cells = drivers.fig10_ec2(n_jobs, seed)
+    return {
+        "fig10a_locality": _cells_to_bars(
+            cells, "locality", "Fig. 10a — data locality (EC2)", "job data locality"
+        ),
+        "fig10b_gmtt": _cells_to_bars(
+            cells, "gmtt_normalized", "Fig. 10b — normalized GMTT (EC2)",
+            "GMTT / vanilla",
+        ),
+        "fig10c_slowdown": _cells_to_bars(
+            cells, "slowdown", "Fig. 10c — mean slowdown (EC2)", "slowdown"
+        ),
+    }
+
+
+def fig11_svg(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> str:
+    """Fig. 11: placement uniformity before/after DARE."""
+    points = drivers.fig11_uniformity(n_jobs=n_jobs, seed=seed)
+    before = [(pt.p, pt.cv_before) for pt in points]
+    after = [(pt.p, pt.cv_after) for pt in points]
+    return line_chart(
+        [("before DARE", before), ("after DARE", after)],
+        title="Fig. 11 — uniformity of replica placement",
+        xlabel="ElephantTrap probability (p)",
+        ylabel="coefficient of variation",
+    )
+
+
+def render_all(
+    out_dir: Union[str, Path],
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+) -> List[Path]:
+    """Render every figure into ``out_dir``; returns the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    docs: Dict[str, str] = {
+        "fig1_hops": fig1_svg(seed),
+        "fig2_popularity": fig2_svg(seed),
+        "fig3_age_cdf": fig3_svg(seed),
+        "fig4_windows_week": fig4_svg(seed),
+        "fig5_windows_day": fig5_svg(seed),
+        "fig6_access_cdf": fig6_svg(n_jobs, seed),
+        "fig11_uniformity": fig11_svg(n_jobs, seed),
+    }
+    docs.update(fig7_svgs(n_jobs, seed))
+    docs.update(fig8_svgs(n_jobs, seed))
+    docs.update(fig9_svgs(n_jobs, seed))
+    docs.update(fig10_svgs(n_jobs, seed))
+    written = []
+    for name, svg in docs.items():
+        path = out / f"{name}.svg"
+        path.write_text(svg)
+        written.append(path)
+    return sorted(written)

@@ -1,0 +1,302 @@
+"""A minimal SVG chart library (no third-party dependencies).
+
+Three chart types cover everything the paper plots: grouped bar charts
+(Figs. 7, 10), line charts with one or more series (Figs. 1, 3, 8, 9, 11),
+and log-log scatter/line plots (Figs. 2, 4, 5 use log axes).  The output
+is plain SVG 1.1 text, viewable in any browser.
+
+The API is deliberately small and value-oriented: each function takes data
+and returns an SVG string; :class:`SvgCanvas` handles coordinates, axes,
+ticks, and text so chart builders stay short.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+#: a colorblind-friendly categorical palette
+PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377")
+
+
+def _fmt(x: float) -> str:
+    """Compact number formatting for tick labels."""
+    if x == 0:
+        return "0"
+    if abs(x) >= 1000 or (abs(x) < 0.01):
+        return f"{x:.0e}".replace("e+0", "e").replace("e-0", "e-")
+    if abs(x) >= 10:
+        return f"{x:.0f}"
+    return f"{x:g}"
+
+
+class SvgCanvas:
+    """Accumulates SVG elements inside a margin-aware plot area."""
+
+    def __init__(
+        self,
+        width: int = 560,
+        height: int = 360,
+        margin: Tuple[int, int, int, int] = (42, 20, 46, 64),  # t r b l
+        title: str = "",
+    ) -> None:
+        self.width = width
+        self.height = height
+        self.m_top, self.m_right, self.m_bottom, self.m_left = margin
+        self.title = title
+        self._elems: List[str] = []
+        # data-space ranges, set by set_ranges
+        self._x0 = self._x1 = self._y0 = self._y1 = 0.0
+        self._xlog = self._ylog = False
+
+    # -- coordinate mapping ------------------------------------------------
+
+    @property
+    def plot_w(self) -> int:
+        return self.width - self.m_left - self.m_right
+
+    @property
+    def plot_h(self) -> int:
+        return self.height - self.m_top - self.m_bottom
+
+    def set_ranges(
+        self,
+        x: Tuple[float, float],
+        y: Tuple[float, float],
+        xlog: bool = False,
+        ylog: bool = False,
+    ) -> None:
+        """Define the data-space ranges for px/py mapping."""
+        if xlog and (x[0] <= 0 or x[1] <= 0):
+            raise ValueError("log x-axis requires positive range")
+        if ylog and (y[0] <= 0 or y[1] <= 0):
+            raise ValueError("log y-axis requires positive range")
+        if x[0] == x[1] or y[0] == y[1]:
+            raise ValueError("degenerate axis range")
+        self._x0, self._x1 = x
+        self._y0, self._y1 = y
+        self._xlog, self._ylog = xlog, ylog
+
+    def _frac(self, v: float, lo: float, hi: float, log: bool) -> float:
+        if log:
+            return (math.log10(v) - math.log10(lo)) / (
+                math.log10(hi) - math.log10(lo)
+            )
+        return (v - lo) / (hi - lo)
+
+    def px(self, x: float) -> float:
+        """Data x -> pixel x."""
+        return self.m_left + self.plot_w * self._frac(x, self._x0, self._x1, self._xlog)
+
+    def py(self, y: float) -> float:
+        """Data y -> pixel y (SVG y grows downward)."""
+        return (
+            self.m_top
+            + self.plot_h
+            - self.plot_h * self._frac(y, self._y0, self._y1, self._ylog)
+        )
+
+    # -- primitives ----------------------------------------------------------
+
+    def add(self, element: str) -> None:
+        """Append a raw SVG element."""
+        self._elems.append(element)
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             color: str = "#444", width: float = 1.0, dash: str = "") -> None:
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self.add(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{d}/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, color: str) -> None:
+        self.add(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{color}"/>'
+        )
+
+    def circle(self, x: float, y: float, r: float, color: str) -> None:
+        self.add(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" fill="{color}"/>')
+
+    def text(self, x: float, y: float, s: str, size: int = 11,
+             anchor: str = "middle", color: str = "#222", rotate: float = 0.0) -> None:
+        t = f' transform="rotate({rotate:.0f} {x:.1f} {y:.1f})"' if rotate else ""
+        self.add(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}" '
+            f'font-family="sans-serif"{t}>{escape(s)}</text>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]],
+                 color: str, width: float = 1.8) -> None:
+        pts = " ".join(f"{self.px(x):.1f},{self.py(y):.1f}" for x, y in points)
+        self.add(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    # -- axes ------------------------------------------------------------------
+
+    def _log_ticks(self, lo: float, hi: float) -> List[float]:
+        lo_e = math.floor(math.log10(lo))
+        hi_e = math.ceil(math.log10(hi))
+        return [10.0 ** e for e in range(int(lo_e), int(hi_e) + 1)]
+
+    def _lin_ticks(self, lo: float, hi: float, n: int = 6) -> List[float]:
+        span = hi - lo
+        step = 10 ** math.floor(math.log10(span / n))
+        for mult in (1, 2, 5, 10):
+            if span / (step * mult) <= n:
+                step *= mult
+                break
+        first = math.ceil(lo / step) * step
+        ticks = []
+        t = first
+        while t <= hi + 1e-9 * span:
+            ticks.append(round(t, 10))
+            t += step
+        return ticks
+
+    def axes(self, xlabel: str = "", ylabel: str = "") -> None:
+        """Draw the frame, ticks, labels, and title."""
+        x0, y0 = self.m_left, self.m_top + self.plot_h
+        x1, y1 = self.m_left + self.plot_w, self.m_top
+        self.line(x0, y0, x1, y0)  # x axis
+        self.line(x0, y0, x0, y1)  # y axis
+        xticks = (
+            self._log_ticks(self._x0, self._x1)
+            if self._xlog
+            else self._lin_ticks(self._x0, self._x1)
+        )
+        for t in xticks:
+            if not (self._x0 <= t <= self._x1):
+                continue
+            px = self.px(t)
+            self.line(px, y0, px, y0 + 4)
+            self.text(px, y0 + 16, _fmt(t), size=10)
+        yticks = (
+            self._log_ticks(self._y0, self._y1)
+            if self._ylog
+            else self._lin_ticks(self._y0, self._y1)
+        )
+        for t in yticks:
+            if not (self._y0 <= t <= self._y1):
+                continue
+            py = self.py(t)
+            self.line(x0 - 4, py, x0, py)
+            self.line(x0, py, x1, py, color="#eee")
+            self.text(x0 - 8, py + 3, _fmt(t), size=10, anchor="end")
+        if xlabel:
+            self.text(self.m_left + self.plot_w / 2, self.height - 8, xlabel)
+        if ylabel:
+            self.text(14, self.m_top + self.plot_h / 2, ylabel, rotate=-90)
+        if self.title:
+            self.text(self.width / 2, 20, self.title, size=13)
+
+    def legend(self, labels: Sequence[str], colors: Sequence[str]) -> None:
+        """Simple swatch legend in the top-right of the plot area."""
+        x = self.m_left + self.plot_w - 10
+        y = self.m_top + 8
+        for i, (label, color) in enumerate(zip(labels, colors)):
+            self.rect(x - 150, y + 16 * i - 8, 10, 10, color)
+            self.text(x - 135, y + 16 * i + 1, label, size=10, anchor="start")
+
+    def render(self) -> str:
+        """The final SVG document."""
+        body = "\n".join(self._elems)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+# ---------------------------------------------------------------------------
+# chart builders
+# ---------------------------------------------------------------------------
+
+
+def line_chart(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    xlog: bool = False,
+    ylog: bool = False,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render one or more (label, [(x, y), ...]) series as lines."""
+    if not series or not any(pts for _, pts in series):
+        raise ValueError("no data")
+    xs = [x for _, pts in series for x, _ in pts]
+    ys = [y for _, pts in series for _, y in pts]
+    canvas = SvgCanvas(title=title)
+    y_lo, y_hi = y_range if y_range else (min(ys), max(ys))
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    canvas.set_ranges((min(xs), max(xs)), (y_lo, y_hi), xlog=xlog, ylog=ylog)
+    canvas.axes(xlabel, ylabel)
+    for i, (label, pts) in enumerate(series):
+        color = PALETTE[i % len(PALETTE)]
+        canvas.polyline(sorted(pts), color)
+        for x, y in pts:
+            canvas.circle(canvas.px(x), canvas.py(y), 2.4, color)
+    canvas.legend([s for s, _ in series], PALETTE)
+    return canvas.render()
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render a single-series bar chart."""
+    if len(labels) != len(values) or not labels:
+        raise ValueError("labels and values must align and be nonempty")
+    canvas = SvgCanvas(title=title)
+    hi = max(max(values), 1e-12)
+    canvas.set_ranges((0, len(labels)), (0, hi * 1.1))
+    canvas.axes("", ylabel)
+    bw = canvas.plot_w / len(labels)
+    for i, (label, v) in enumerate(zip(labels, values)):
+        x = canvas.m_left + i * bw + bw * 0.15
+        y = canvas.py(v)
+        canvas.rect(x, y, bw * 0.7, canvas.m_top + canvas.plot_h - y, PALETTE[0])
+        canvas.text(canvas.m_left + (i + 0.5) * bw,
+                    canvas.m_top + canvas.plot_h + 16, label, size=10)
+    return canvas.render()
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render grouped bars: one cluster of len(series) bars per group."""
+    if not groups or not series:
+        raise ValueError("no data")
+    for label, vals in series:
+        if len(vals) != len(groups):
+            raise ValueError(f"series {label!r} length mismatch")
+    canvas = SvgCanvas(title=title)
+    hi = max(v for _, vals in series for v in vals)
+    canvas.set_ranges((0, len(groups)), (0, max(hi, 1e-12) * 1.15))
+    canvas.axes("", ylabel)
+    gw = canvas.plot_w / len(groups)
+    n = len(series)
+    bw = gw * 0.8 / n
+    for gi, group in enumerate(groups):
+        for si, (label, vals) in enumerate(series):
+            x = canvas.m_left + gi * gw + gw * 0.1 + si * bw
+            y = canvas.py(vals[gi])
+            canvas.rect(x, y, bw * 0.9, canvas.m_top + canvas.plot_h - y,
+                        PALETTE[si % len(PALETTE)])
+        canvas.text(canvas.m_left + (gi + 0.5) * gw,
+                    canvas.m_top + canvas.plot_h + 16, group, size=10)
+    canvas.legend([s for s, _ in series], PALETTE)
+    return canvas.render()

@@ -1,0 +1,44 @@
+"""Workload synthesis: SWIM-style traces and file popularity models.
+
+The paper replays 500-job segments of a Facebook 600-machine production
+trace published with SWIM (Chen et al., MASCOTS'11):
+
+* **wl1** (jobs 0-499) — "a long sequence of small jobs"; its smaller
+  job-size variance favors the FIFO scheduler;
+* **wl2** (jobs 4800-5299) — "a pattern of small jobs after large jobs",
+  which favors the Fair scheduler (small jobs would otherwise convoy
+  behind large ones).
+
+Without the original trace we synthesize workloads with the published
+shape: heavy-tailed job sizes, bursty Poisson arrivals, and input files
+drawn from a Zipf-like popularity distribution matching the access CDF of
+Fig. 6.
+"""
+
+from repro.workloads.popularity import PopularityModel, zipf_weights, access_cdf
+from repro.workloads.catalog import FileCatalog, FileSpec, generate_catalog
+from repro.workloads.swim import (
+    SwimParams,
+    WL1_PARAMS,
+    WL2_PARAMS,
+    Workload,
+    synthesize_wl1,
+    synthesize_wl2,
+    synthesize_workload,
+)
+
+__all__ = [
+    "PopularityModel",
+    "zipf_weights",
+    "access_cdf",
+    "FileCatalog",
+    "FileSpec",
+    "generate_catalog",
+    "SwimParams",
+    "WL1_PARAMS",
+    "WL2_PARAMS",
+    "Workload",
+    "synthesize_wl1",
+    "synthesize_wl2",
+    "synthesize_workload",
+]

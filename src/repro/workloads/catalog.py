@@ -1,0 +1,95 @@
+"""File catalogs: the data set a workload reads.
+
+A catalog partitions files into size classes so trace synthesis can pick a
+"small job" (a small input file) or a "large job" (a large one) while the
+popularity model governs *which* file within a class is reused.  Following
+the SWIM Facebook characterization, the vast majority of inputs are a
+handful of blocks and a few are hundreds.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+
+
+class FileSpec(NamedTuple):
+    """A file in the data set."""
+
+    name: str
+    n_blocks: int
+    size_class: str  # 'small' | 'medium' | 'large'
+
+    def size_bytes(self, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
+        """Total bytes (whole blocks; the paper replicates per-block)."""
+        return self.n_blocks * block_size
+
+
+class FileCatalog:
+    """An ordered collection of files, popularity-rank order.
+
+    Index 0 is the (intended) most popular file.  Size classes are
+    interleaved so popular files exist in every class.
+    """
+
+    def __init__(self, files: Sequence[FileSpec]) -> None:
+        if not files:
+            raise ValueError("empty catalog")
+        names = {f.name for f in files}
+        if len(names) != len(files):
+            raise ValueError("duplicate file names in catalog")
+        self.files: List[FileSpec] = list(files)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __getitem__(self, i: int) -> FileSpec:
+        return self.files[i]
+
+    def by_class(self, size_class: str) -> List[int]:
+        """Indices of files in a size class, in rank order."""
+        return [i for i, f in enumerate(self.files) if f.size_class == size_class]
+
+    @property
+    def total_blocks(self) -> int:
+        """Logical data-set size in blocks."""
+        return sum(f.n_blocks for f in self.files)
+
+    def total_bytes(self, block_size: int = DEFAULT_BLOCK_SIZE) -> int:
+        """Logical data-set size in bytes."""
+        return self.total_blocks * block_size
+
+
+def generate_catalog(
+    rng: np.random.Generator,
+    n_small: int = 90,
+    n_medium: int = 24,
+    n_large: int = 6,
+    small_blocks: tuple = (1, 12),
+    medium_blocks: tuple = (13, 50),
+    large_blocks: tuple = (120, 360),
+) -> FileCatalog:
+    """Generate the default ~120-file experiment data set.
+
+    Class sizes follow the SWIM Facebook shape: most files are small, a
+    few are very large.  Files are named ``f<rank>`` in a rank order that
+    interleaves classes (so popular small files and popular large files
+    both exist, as in a production namespace).
+    """
+    specs: List[tuple] = []
+    for _ in range(n_small):
+        specs.append(("small", int(rng.integers(small_blocks[0], small_blocks[1] + 1))))
+    for _ in range(n_medium):
+        specs.append(("medium", int(rng.integers(medium_blocks[0], medium_blocks[1] + 1))))
+    for _ in range(n_large):
+        specs.append(("large", int(rng.integers(large_blocks[0], large_blocks[1] + 1))))
+    # interleave classes across the rank order deterministically
+    order = rng.permutation(len(specs))
+    files = [
+        FileSpec(f"f{rank:03d}", specs[i][1], specs[i][0])
+        for rank, i in enumerate(order)
+    ]
+    return FileCatalog(files)

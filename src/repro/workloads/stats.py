@@ -1,0 +1,118 @@
+"""Workload statistics: summarize a trace before running it.
+
+Replaying a trace blind makes calibration arguments unreviewable; this
+module computes the descriptive statistics DESIGN.md and CALIBRATION.md
+reason about — job-size mix, arrival burstiness, per-class data volumes,
+and the access skew that drives every DARE result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple
+
+import numpy as np
+
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.workloads.swim import Workload
+
+
+class WorkloadStats(NamedTuple):
+    """Descriptive statistics of one workload trace."""
+
+    name: str
+    n_jobs: int
+    n_files: int
+    total_map_tasks: int
+    dataset_blocks: int
+    span_s: float
+    # job sizes (maps per job)
+    maps_p50: float
+    maps_p90: float
+    maps_max: int
+    small_job_fraction: float  # jobs with <= 3 maps
+    # arrivals
+    interarrival_mean_s: float
+    interarrival_p99_s: float
+    burstiness: float  # cv of interarrivals; >1 = burstier than Poisson
+    # popularity
+    top1_access_share: float
+    top10_access_share: float
+    gini: float
+    # data volumes
+    input_gb: float
+    shuffle_gb: float
+    output_gb: float
+
+    def report(self) -> str:
+        """Printable multi-line summary."""
+        return "\n".join(
+            [
+                f"workload {self.name!r}: {self.n_jobs} jobs over "
+                f"{self.span_s:.0f}s, {self.n_files} files "
+                f"({self.dataset_blocks} blocks)",
+                f"  maps/job: p50={self.maps_p50:.0f} p90={self.maps_p90:.0f} "
+                f"max={self.maps_max}; small jobs (<=3 maps): "
+                f"{100 * self.small_job_fraction:.0f}%",
+                f"  arrivals: mean gap {self.interarrival_mean_s:.2f}s, "
+                f"p99 {self.interarrival_p99_s:.1f}s, "
+                f"burstiness cv={self.burstiness:.1f}",
+                f"  popularity: top-1 file {100 * self.top1_access_share:.0f}% "
+                f"of accesses, top-10 {100 * self.top10_access_share:.0f}%, "
+                f"gini={self.gini:.2f}",
+                f"  volumes: input {self.input_gb:.0f} GB, shuffle "
+                f"{self.shuffle_gb:.0f} GB, output {self.output_gb:.0f} GB",
+            ]
+        )
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a nonnegative sample (0 uniform, ->1 skewed)."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0 or v.sum() == 0:
+        raise ValueError("need positive mass for a Gini coefficient")
+    n = v.size
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def compute_stats(workload: Workload, block_size: int = DEFAULT_BLOCK_SIZE) -> WorkloadStats:
+    """Compute the full statistics bundle for a workload."""
+    blocks = {f.name: f.n_blocks for f in workload.catalog.files}
+    maps = np.asarray([blocks[s.input_file] for s in workload.specs], dtype=float)
+    times = np.asarray([s.submit_time for s in workload.specs])
+    gaps = np.diff(np.sort(times))
+    counts = np.sort(
+        np.asarray(list(workload.access_counts().values()), dtype=float)
+    )[::-1]
+    input_bytes = maps * block_size
+    shuffle = np.asarray(
+        [s.shuffle_ratio for s in workload.specs]
+    ) * input_bytes
+    output = np.asarray([s.output_ratio for s in workload.specs]) * input_bytes
+    if gaps.size == 0:
+        mean_gap, p99_gap, burst = 0.0, 0.0, 0.0
+    else:
+        mean_gap = float(gaps.mean())
+        p99_gap = float(np.percentile(gaps, 99))
+        burst = float(gaps.std() / mean_gap) if mean_gap > 0 else 0.0
+    return WorkloadStats(
+        name=workload.name,
+        n_jobs=workload.n_jobs,
+        n_files=len(workload.catalog),
+        total_map_tasks=int(maps.sum()),
+        dataset_blocks=workload.catalog.total_blocks,
+        span_s=float(times.max() - times.min()) if times.size else 0.0,
+        maps_p50=float(np.percentile(maps, 50)),
+        maps_p90=float(np.percentile(maps, 90)),
+        maps_max=int(maps.max()),
+        small_job_fraction=float((maps <= 3).mean()),
+        interarrival_mean_s=mean_gap,
+        interarrival_p99_s=p99_gap,
+        burstiness=burst,
+        top1_access_share=float(counts[0] / counts.sum()),
+        top10_access_share=float(counts[:10].sum() / counts.sum()),
+        gini=_gini(counts),
+        input_gb=float(input_bytes.sum() / 1e9),
+        shuffle_gb=float(shuffle.sum() / 1e9),
+        output_gb=float(output.sum() / 1e9),
+    )

@@ -1,0 +1,54 @@
+"""Shared fixtures: small clusters, namespaces, and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import CCT_SPEC, Cluster, ClusterSpec
+from repro.hdfs.namenode import NameNode
+from repro.simulation.engine import Engine
+from repro.simulation.rng import RandomStreams
+from repro.workloads.swim import synthesize_wl1, synthesize_wl2
+
+#: a small dedicated cluster for unit tests (1 master + 7 slaves)
+SMALL_SPEC = CCT_SPEC._replace(n_nodes=8)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(1234)
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def small_cluster(streams) -> Cluster:
+    return Cluster(SMALL_SPEC, streams)
+
+
+@pytest.fixture
+def namenode(small_cluster) -> NameNode:
+    return NameNode(small_cluster)
+
+
+@pytest.fixture
+def loaded_namenode(namenode) -> NameNode:
+    """A namespace with a few files already placed."""
+    namenode.create_file("hot", 3 * namenode.block_size, replication=3)
+    namenode.create_file("warm", 2 * namenode.block_size, replication=3)
+    namenode.create_file("cold", 5 * namenode.block_size, replication=2)
+    return namenode
+
+
+@pytest.fixture
+def wl1_small():
+    return synthesize_wl1(np.random.default_rng(7), n_jobs=40)
+
+
+@pytest.fixture
+def wl2_small():
+    return synthesize_wl2(np.random.default_rng(7), n_jobs=40)

@@ -1,0 +1,76 @@
+"""Integration tests: the design-choice ablations."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_delay_sweep,
+    ablation_disk_writes,
+    ablation_eviction_policy,
+    ablation_uniform_replication,
+    ablation_unlimited_budget,
+)
+
+N_JOBS = 80
+
+
+class TestDiskWrites:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.policy: r for r in ablation_disk_writes(n_jobs=N_JOBS)}
+
+    def test_elephant_trap_writes_less_than_lru(self, rows):
+        # the Section I claim: comparable locality at ~half the disk writes
+        assert (
+            rows["elephant-trap"].replication_disk_writes
+            < 0.7 * rows["greedy-lru"].replication_disk_writes
+        )
+
+    def test_locality_in_same_ballpark(self, rows):
+        assert rows["elephant-trap"].locality > 0.55 * rows["greedy-lru"].locality
+
+
+class TestEvictionPolicies:
+    def test_all_policies_beat_nothing(self):
+        rows = ablation_eviction_policy(n_jobs=N_JOBS)
+        assert len(rows) == 3
+        for r in rows:
+            assert r.locality > 0
+            assert r.blocks_per_job > 0
+
+    def test_greedy_variants_create_more_replicas_than_et(self):
+        rows = {r.policy: r for r in ablation_eviction_policy(n_jobs=N_JOBS)}
+        assert rows["greedy-lru"].blocks_per_job > rows["elephant-trap"].blocks_per_job
+        assert rows["greedy-lfu"].blocks_per_job > rows["elephant-trap"].blocks_per_job
+
+
+class TestBudgetBound:
+    def test_unlimited_budget_uses_more_storage(self):
+        rows = {r.budget: r for r in ablation_unlimited_budget(n_jobs=N_JOBS)}
+        assert rows["unlimited"].extra_storage_fraction >= rows["0.2"].extra_storage_fraction
+        assert rows["unlimited"].locality >= rows["0.2"].locality * 0.95
+
+
+class TestDelaySweep:
+    def test_delay_improves_vanilla_locality(self):
+        rows = {r.delay_s: r for r in ablation_delay_sweep(delays=(0.0, 3.0), n_jobs=N_JOBS)}
+        assert rows[3.0].vanilla_locality > rows[0.0].vanilla_locality
+
+    def test_dare_helps_at_every_delay(self):
+        for row in ablation_delay_sweep(delays=(0.0, 1.5), n_jobs=N_JOBS):
+            assert row.dare_locality >= row.vanilla_locality
+
+
+class TestUniformReplication:
+    def test_dare_beats_equal_storage_uniform_replication(self):
+        rows = ablation_uniform_replication(factors=(3, 4), n_jobs=N_JOBS)
+        by_label = {r.label: r for r in rows}
+        dare = by_label["DARE (rf=3 + budget 0.2)"]
+        rf4 = by_label["uniform rf=4"]
+        # DARE uses less storage than rf=4 yet achieves better locality
+        assert dare.storage_blocks < rf4.storage_blocks
+        assert dare.locality > rf4.locality
+
+    def test_uniform_replication_scales_storage_linearly(self):
+        rows = ablation_uniform_replication(factors=(3, 6), n_jobs=N_JOBS)
+        by_label = {r.label: r for r in rows}
+        assert by_label["uniform rf=6"].storage_blocks == 2 * by_label["uniform rf=3"].storage_blocks

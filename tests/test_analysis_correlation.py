@@ -1,0 +1,100 @@
+"""Unit tests: the co-access correlation analysis (Section III claim)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.access_log import AccessLog, generate_access_log
+from repro.analysis.correlation import (
+    analyze_correlation,
+    co_access_groups,
+    correlation_matrix,
+    hourly_series,
+)
+
+
+@pytest.fixture(scope="module")
+def log():
+    return generate_access_log(np.random.default_rng(20110926))
+
+
+def tiny_log(times, ids, n_files):
+    return AccessLog(
+        np.asarray(times, dtype=float),
+        np.asarray(ids, dtype=np.int64),
+        np.zeros(n_files),
+        np.ones(n_files, dtype=np.int64),
+    )
+
+
+class TestHourlySeries:
+    def test_shape_and_counts(self):
+        lg = tiny_log([0.5, 0.6, 30.2], [0, 0, 1], 2)
+        series = hourly_series(lg, [0, 1])
+        assert series.shape == (2, 168)
+        assert series[0, 0] == 2
+        assert series[1, 30] == 1
+
+    def test_custom_slots(self):
+        lg = tiny_log([1.0, 13.0], [0, 0], 1)
+        series = hourly_series(lg, [0], slot_hours=12.0)
+        assert series.shape == (1, 14)
+        assert series[0, 0] == 1 and series[0, 1] == 1
+
+
+class TestCorrelationMatrix:
+    def test_identical_series_fully_correlated(self):
+        s = np.array([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0]])
+        corr = correlation_matrix(s)
+        assert corr[0, 1] == pytest.approx(1.0)
+
+    def test_opposite_series_anticorrelated(self):
+        s = np.array([[1.0, 2.0, 3.0], [3.0, 2.0, 1.0]])
+        assert correlation_matrix(s)[0, 1] == pytest.approx(-1.0)
+
+    def test_zero_variance_row_correlates_with_nothing(self):
+        s = np.array([[1.0, 1.0, 1.0], [1.0, 2.0, 3.0]])
+        corr = correlation_matrix(s)
+        assert corr[0, 1] == 0.0
+        assert corr[0, 0] == 1.0  # diagonal restored
+
+    def test_single_series_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(np.ones((1, 5)))
+
+
+class TestGrouping:
+    def test_perfectly_correlated_pair_grouped(self):
+        corr = np.array([[1.0, 0.9], [0.9, 1.0]])
+        groups = co_access_groups([10, 20], corr, threshold=0.5)
+        assert groups == [[10, 20]]
+
+    def test_uncorrelated_files_stay_singletons(self):
+        corr = np.eye(3)
+        groups = co_access_groups([1, 2, 3], corr, threshold=0.5)
+        assert groups == [[1], [2], [3]]
+
+
+class TestPipelineClaim:
+    def test_co_access_groups_exist(self, log):
+        """Section III: 'considerable correlation among accesses to
+        different files' — shared-pipeline files move together."""
+        summary = analyze_correlation(log)
+        assert len(summary.groups) >= 3
+        assert max(len(g) for g in summary.groups) >= 2
+
+    def test_groups_are_strongly_correlated_internally(self, log):
+        summary = analyze_correlation(log)
+        group = max(summary.groups, key=len)
+        series = hourly_series(log, group)
+        corr = correlation_matrix(series)
+        iu = np.triu_indices(len(group), 1)
+        assert corr[iu].mean() > 0.5  # far above the ~0 background
+
+    def test_background_correlation_is_low(self, log):
+        summary = analyze_correlation(log)
+        assert abs(summary.mean_pairwise) < 0.15
+
+    def test_needs_at_least_two_hot_files(self):
+        lg = tiny_log([1.0] * 5, [0] * 5, 1)
+        with pytest.raises(ValueError):
+            analyze_correlation(lg)

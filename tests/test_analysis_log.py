@@ -1,0 +1,74 @@
+"""Unit tests: the synthetic audit-log generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.access_log import (
+    WEEK_HOURS,
+    AccessLog,
+    LogParams,
+    generate_access_log,
+)
+
+
+@pytest.fixture(scope="module")
+def log():
+    return generate_access_log(np.random.default_rng(3))
+
+
+class TestGenerator:
+    def test_all_times_within_week(self, log):
+        assert (log.times_h >= 0).all()
+        assert (log.times_h < WEEK_HOURS).all()
+
+    def test_times_sorted(self, log):
+        assert (np.diff(log.times_h) >= 0).all()
+
+    def test_no_access_before_creation(self, log):
+        assert (log.ages_at_access() > 0).all()
+
+    def test_file_count_matches_params(self, log):
+        assert log.n_files == LogParams().n_files
+
+    def test_popularity_spans_decades(self, log):
+        counts = np.sort(log.access_counts())[::-1]
+        assert counts[0] > 1000 * max(1, counts[-1])  # ~4 decades (Fig. 2)
+
+    def test_block_counts_heavy_tailed(self, log):
+        assert log.n_blocks.min() >= 1
+        assert log.n_blocks.max() > 50
+
+    def test_deterministic(self):
+        a = generate_access_log(np.random.default_rng(5))
+        b = generate_access_log(np.random.default_rng(5))
+        assert np.array_equal(a.times_h, b.times_h)
+        assert np.array_equal(a.file_ids, b.file_ids)
+
+    def test_small_param_set(self):
+        params = LogParams(n_files=50, top_accesses=500)
+        small = generate_access_log(np.random.default_rng(1), params)
+        assert small.n_files == 50
+        assert small.n_accesses > 100
+
+
+class TestAccessLogApi:
+    def test_slice_hours_filters(self, log):
+        day2 = log.slice_hours(24.0, 48.0)
+        assert (day2.times_h >= 24.0).all()
+        assert (day2.times_h < 48.0).all()
+        assert day2.n_files == log.n_files  # metadata preserved
+
+    def test_access_counts_sum_to_entries(self, log):
+        assert log.access_counts().sum() == log.n_accesses
+
+    def test_entries_row_view(self):
+        small = generate_access_log(
+            np.random.default_rng(1), LogParams(n_files=10, top_accesses=20)
+        )
+        rows = small.entries()
+        assert len(rows) == small.n_accesses
+        assert rows[0].time_h == pytest.approx(float(small.times_h[0]))
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            AccessLog(np.zeros(3), np.zeros(2, dtype=int), np.zeros(1), np.ones(1, dtype=int))

@@ -1,0 +1,136 @@
+"""Unit tests: the Section III analyses (Figs. 2-5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.access_log import AccessLog, LogParams, generate_access_log
+from repro.analysis.patterns import (
+    _smallest_window,
+    age_at_access_cdf,
+    big_files,
+    median_age_hours,
+    popularity_by_rank,
+    window_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def log():
+    return generate_access_log(np.random.default_rng(3))
+
+
+def tiny_log(times, ids, created, blocks):
+    return AccessLog(
+        np.asarray(times, dtype=float),
+        np.asarray(ids, dtype=np.int64),
+        np.asarray(created, dtype=float),
+        np.asarray(blocks, dtype=np.int64),
+    )
+
+
+class TestPopularity:
+    def test_sorted_descending(self, log):
+        pop = popularity_by_rank(log)
+        assert (np.diff(pop) <= 0).all()
+
+    def test_weighted_multiplies_by_blocks(self):
+        lg = tiny_log([1, 1, 2], [0, 0, 1], [0, 0], [10, 1])
+        raw = popularity_by_rank(lg)
+        weighted = popularity_by_rank(lg, weighted=True)
+        assert list(raw) == [2, 1]
+        assert list(weighted) == [20, 1]  # file 0: 2 accesses x 10 blocks
+
+    def test_zero_access_files_excluded(self):
+        lg = tiny_log([1.0], [0], [0, 0], [1, 1])
+        assert len(popularity_by_rank(lg)) == 1
+
+
+class TestAgeCdf:
+    def test_fig3_shape_most_accesses_in_first_day(self, log):
+        cdf = age_at_access_cdf(log, np.array([24.0]))
+        assert 0.6 < cdf[0] < 0.92  # paper: ~0.8
+
+    def test_cdf_reaches_one_at_week(self, log):
+        assert age_at_access_cdf(log, np.array([WEEK := 168.0]))[0] == pytest.approx(1.0)
+
+    def test_median_near_ten_hours(self, log):
+        assert 3.0 < median_age_hours(log) < 24.0  # paper: 9h45m
+
+    def test_monotone(self, log):
+        grid = np.linspace(0.1, 168, 60)
+        cdf = age_at_access_cdf(log, grid)
+        assert (np.diff(cdf) >= 0).all()
+
+    def test_empty_log_rejected(self):
+        lg = tiny_log([], [], [0], [1])
+        with pytest.raises(ValueError):
+            age_at_access_cdf(lg, np.array([1.0]))
+
+
+class TestBigFiles:
+    def test_cover_requested_fraction(self, log):
+        chosen = big_files(log, coverage=0.8)
+        counts = log.access_counts()
+        assert counts[chosen].sum() >= 0.8 * counts.sum()
+
+    def test_minimality(self, log):
+        chosen = big_files(log, coverage=0.8)
+        counts = log.access_counts()
+        smallest = counts[chosen].min()
+        assert counts[chosen].sum() - smallest < 0.8 * counts.sum()
+
+    def test_only_accessed_files(self, log):
+        chosen = big_files(log)
+        assert (log.access_counts()[chosen] > 0).all()
+
+
+class TestSmallestWindow:
+    def test_all_mass_in_one_slot(self):
+        assert _smallest_window(np.array([0, 10, 0, 0]), 0.8) == 1
+
+    def test_spread_mass_needs_wide_window(self):
+        hist = np.ones(10)
+        assert _smallest_window(hist, 0.8) == 8
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            hist = rng.integers(0, 5, size=24)
+            if hist.sum() == 0:
+                continue
+            target = 0.8 * hist.sum()
+            brute = next(
+                w
+                for w in range(1, 25)
+                if max(hist[i:i + w].sum() for i in range(25 - w)) >= target
+            )
+            assert _smallest_window(hist, 0.8) == brute
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            _smallest_window(np.zeros(5), 0.8)
+
+
+class TestWindowDistribution:
+    def test_distribution_normalized(self, log):
+        _, frac = window_distribution(log)
+        assert frac.sum() == pytest.approx(1.0)
+
+    def test_fig4_daily_spike_present(self, log):
+        _, frac = window_distribution(log)
+        # the ~121 h spike: files re-read every day of the week
+        assert frac[112:130].sum() > 0.05
+
+    def test_fig5_day_bursts_sub_two_hours(self, log):
+        _, frac = window_distribution(log, start_h=24.0, end_h=48.0)
+        assert frac[:2].sum() > 0.8
+
+    def test_weighted_differs_from_unweighted(self, log):
+        _, unw = window_distribution(log)
+        _, w = window_distribution(log, weighted=True)
+        assert not np.allclose(unw, w)
+
+    def test_window_sizes_span_range(self, log):
+        sizes, frac = window_distribution(log, start_h=0.0, end_h=48.0)
+        assert sizes[0] == 1 and sizes[-1] == 48
+        assert len(sizes) == len(frac)

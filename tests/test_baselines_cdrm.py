@@ -1,0 +1,93 @@
+"""Unit/integration tests: the CDRM availability-driven baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cdrm import CdrmConfig
+from repro.core.config import DareConfig
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.workloads.swim import synthesize_wl1
+from tests.conftest import SMALL_SPEC
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        CdrmConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"availability_target": 1.0},
+            {"availability_target": 0.0},
+            {"node_availability": 0.0},
+            {"period_s": 0.0},
+            {"max_concurrent": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ValueError):
+            CdrmConfig()._replace(**kw).validate()
+
+    def test_target_replicas_formula(self):
+        # 1-(1-0.8)^r >= 0.9999  ->  0.2^r <= 1e-4  ->  r = 6 (0.2^5=3.2e-4)
+        cfg = CdrmConfig(availability_target=0.9999, node_availability=0.8)
+        assert cfg.target_replicas == 6
+
+    def test_high_node_availability_needs_fewer_replicas(self):
+        lo = CdrmConfig(node_availability=0.6).target_replicas
+        hi = CdrmConfig(node_availability=0.95).target_replicas
+        assert hi < lo
+
+
+class TestCdrmRuns:
+    @pytest.fixture(scope="class")
+    def wl(self):
+        return synthesize_wl1(np.random.default_rng(7), n_jobs=60)
+
+    @pytest.fixture(scope="class")
+    def cdrm_cfg(self):
+        return CdrmConfig(
+            availability_target=0.999, node_availability=0.8, period_s=60.0,
+            max_concurrent=16,
+        )
+
+    def test_replicas_reach_target(self, wl, cdrm_cfg):
+        from repro.cluster.cluster import Cluster
+        from repro.simulation.rng import RandomStreams
+
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=SMALL_SPEC, cdrm=cdrm_cfg), wl
+        )
+        assert r.cdrm_replicas_created > 0
+        assert r.traffic_bytes["rebalancing"] > 0
+
+    def test_availability_replication_is_uniform_not_popular(self, wl, cdrm_cfg):
+        """CDRM treats every block alike — extra replicas scale with the
+        *data set*, not with popularity (the paper's contrast)."""
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=SMALL_SPEC, cdrm=cdrm_cfg), wl
+        )
+        dataset_blocks = sum(f.n_blocks for f in wl.catalog.files)
+        target_extra = (cdrm_cfg.target_replicas - 3) * dataset_blocks
+        # most of the uniform deficit gets filled (copies race the run end)
+        assert r.cdrm_replicas_created > 0.5 * target_extra
+
+    def test_dare_beats_cdrm_on_locality_per_byte(self, wl, cdrm_cfg):
+        cdrm = run_experiment(
+            ExperimentConfig(cluster_spec=SMALL_SPEC, cdrm=cdrm_cfg), wl
+        )
+        dare = run_experiment(
+            ExperimentConfig(cluster_spec=SMALL_SPEC, dare=DareConfig.elephant_trap()),
+            wl,
+        )
+        assert dare.traffic_bytes["rebalancing"] == 0
+        assert cdrm.traffic_bytes["rebalancing"] > 0
+        # per replication byte spent, DARE's locality is incomparably better
+        assert dare.job_locality > 0.6 * cdrm.job_locality
+
+    def test_deterministic(self, wl, cdrm_cfg):
+        cfg = ExperimentConfig(cluster_spec=SMALL_SPEC, cdrm=cdrm_cfg)
+        a = run_experiment(cfg, wl)
+        b = run_experiment(cfg, wl)
+        assert a.cdrm_replicas_created == b.cdrm_replicas_created
+        assert a.gmtt_s == b.gmtt_s

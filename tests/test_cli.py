@@ -1,0 +1,79 @@
+"""Unit tests: the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_failures, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "wl1"
+        assert args.policy == "et"
+        assert args.cluster == "cct"
+
+    def test_failure_spec_parsing(self):
+        assert _parse_failures(["10:3", "20.5:7"]) == ((10.0, 3), (20.5, 7))
+
+    def test_bad_failure_spec(self):
+        with pytest.raises(SystemExit):
+            _parse_failures(["ten-o-clock"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "wl9", "--jobs", "5"])
+
+
+class TestCommands:
+    def test_probe(self, capsys):
+        assert main(["probe", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "hop" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "audit log" in out
+        assert "age CDF" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "--jobs", "40", "--policy", "lru", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "loc=" in out
+        assert "replicas created" in out
+        assert "network traffic" in out
+
+    def test_run_vanilla_policy(self, capsys):
+        assert main(["run", "--jobs", "30", "--policy", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas created" not in out
+
+    def test_run_with_failure(self, capsys):
+        assert main(["run", "--jobs", "40", "--fail", "100:4"]) == 0
+        out = capsys.readouterr().out
+        assert "blocks lost replicas" in out
+
+    def test_run_with_scarlett(self, capsys):
+        assert main(
+            ["run", "--jobs", "60", "--policy", "off", "--scarlett",
+             "--scarlett-epoch", "150"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scarlett replicas" in out
+
+    def test_synth_and_reload(self, tmp_path, capsys):
+        out_file = tmp_path / "wl.json"
+        assert main(["synth", "--workload", "wl2", "--jobs", "25",
+                     "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert main(["run", "--workload", str(out_file), "--policy", "off"]) == 0
+
+    def test_figures_subset(self, capsys):
+        assert main(["figures", "--jobs", "30", "--only", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "cv" in out

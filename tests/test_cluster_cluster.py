@@ -1,0 +1,102 @@
+"""Unit tests: cluster assembly and the measurement probes."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import CCT_SPEC, EC2_SPEC, Cluster, build_cluster
+from repro.cluster.node import Node
+from repro.cluster.probes import (
+    SummaryStats,
+    bandwidth_ratio,
+    measure_disk_bandwidth,
+    measure_network_bandwidth,
+    ping_all_pairs,
+    probe_report,
+    traceroute_hop_histogram,
+)
+from repro.simulation.rng import RandomStreams
+
+
+class TestNode:
+    def test_effective_bandwidths_fair_share(self):
+        n = Node(1, 0, disk_bw_mbps=100.0, net_bw_mbps=50.0)
+        assert n.effective_disk_bw() == 100.0
+        n.active_disk_reads = 4
+        assert n.effective_disk_bw() == 25.0
+        n.active_net_transfers = 2
+        assert n.effective_net_bw() == 25.0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Node(1, 0, disk_bw_mbps=0.0, net_bw_mbps=50.0)
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            Node(1, 0, 100.0, 50.0, map_slots=-1)
+
+
+class TestClusterAssembly:
+    def test_master_is_node_zero_with_no_slots(self, small_cluster):
+        assert small_cluster.master.node_id == 0
+        assert small_cluster.master.map_slots == 0
+        assert small_cluster.master.reduce_slots == 0
+
+    def test_slaves_have_spec_slots(self, small_cluster):
+        for n in small_cluster.slaves:
+            assert n.map_slots == small_cluster.spec.map_slots
+            assert n.reduce_slots == small_cluster.spec.reduce_slots
+
+    def test_total_slots(self, small_cluster):
+        n_slaves = len(small_cluster.slaves)
+        assert small_cluster.total_map_slots == n_slaves * small_cluster.spec.map_slots
+
+    def test_build_cluster_deterministic(self):
+        a = build_cluster(CCT_SPEC, seed=5)
+        b = build_cluster(CCT_SPEC, seed=5)
+        assert [n.disk_bw_mbps for n in a.nodes] == [n.disk_bw_mbps for n in b.nodes]
+
+    def test_ec2_spec_has_scattered_topology(self):
+        c = build_cluster(EC2_SPEC)
+        assert c.topology.n_racks > 10
+
+
+class TestProbes:
+    def test_summary_stats_of(self):
+        s = SummaryStats.of(np.array([1.0, 2.0, 3.0]))
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.mean == pytest.approx(2.0)
+
+    def test_summary_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SummaryStats.of(np.array([]))
+
+    def test_ping_matches_table1_cct(self):
+        stats = ping_all_pairs(build_cluster(CCT_SPEC))
+        assert 0.10 < stats.mean < 0.30  # paper: 0.18 ms
+
+    def test_disk_probe_matches_table2(self):
+        stats = measure_disk_bandwidth(build_cluster(CCT_SPEC))
+        assert 150 < stats.mean < 165  # paper: 157.8 MB/s
+
+    def test_network_probe_matches_table2(self):
+        stats = measure_network_bandwidth(build_cluster(CCT_SPEC))
+        assert 116 < stats.mean < 119  # paper: 117.7 MB/s
+
+    def test_bandwidth_ratio_higher_on_dedicated(self):
+        # Section II-B's key insight
+        cct = bandwidth_ratio(build_cluster(CCT_SPEC))
+        ec2 = bandwidth_ratio(build_cluster(EC2_SPEC._replace(n_nodes=20)))
+        assert cct > ec2
+
+    def test_hop_histogram_fig1_mode(self):
+        hist = traceroute_hop_histogram(build_cluster(EC2_SPEC._replace(n_nodes=20)))
+        assert int(np.argmax(hist)) in (3, 4, 5)
+
+    def test_probe_report_keys(self):
+        report = probe_report(build_cluster(CCT_SPEC))
+        assert set(report) == {"rtt_ms", "disk_bw_mbps", "net_bw_mbps"}
+
+    def test_stats_row_formatting(self):
+        s = SummaryStats.of(np.array([1.0, 2.0]))
+        row = s.row("label", "ms")
+        assert "label" in row and "ms" in row

@@ -1,0 +1,49 @@
+"""Unit tests: disk bandwidth models (Table II calibration)."""
+
+import numpy as np
+
+from repro.cluster.disk import CCT_DISK, EC2_DISK, DiskModel
+
+
+def samples(params, n=2000, seed=5):
+    model = DiskModel(params, np.random.default_rng(seed))
+    return np.asarray([model.sample() for _ in range(n)])
+
+
+class TestCctDisk:
+    def test_mean_matches_table2(self):
+        s = samples(CCT_DISK)
+        assert 152 < s.mean() < 163  # paper: 157.8
+
+    def test_clipped_to_observed_range(self):
+        s = samples(CCT_DISK)
+        assert s.min() >= CCT_DISK.lo
+        assert s.max() <= CCT_DISK.hi
+
+    def test_tight_dispersion(self):
+        s = samples(CCT_DISK)
+        assert s.std() < 10  # paper: 8.02
+
+
+class TestEc2Disk:
+    def test_mean_matches_table2(self):
+        s = samples(EC2_DISK)
+        assert 125 < s.mean() < 160  # paper: 141.5
+
+    def test_wide_dispersion_from_sharing(self):
+        s = samples(EC2_DISK)
+        assert s.std() > 50  # paper: 74.2
+
+    def test_burst_mode_reaches_high_bandwidth(self):
+        s = samples(EC2_DISK)
+        assert s.max() > 300  # whole-disk bursts (paper max: 357.9)
+
+    def test_shared_mode_floors_low(self):
+        s = samples(EC2_DISK)
+        assert s.min() < 80  # heavily shared spindles (paper min: 67.1)
+
+    def test_sample_nodes_shape(self):
+        model = DiskModel(EC2_DISK, np.random.default_rng(1))
+        arr = model.sample_nodes(12)
+        assert arr.shape == (12,)
+        assert (arr > 0).all()

@@ -1,0 +1,87 @@
+"""Unit tests: the network model and its Table I/II calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import CCT_NETWORK, EC2_NETWORK, NetworkModel
+from repro.cluster.topology import DEDICATED, VIRTUALIZED, Topology
+
+
+def model(params, family=DEDICATED, n=20, seed=5, **kw):
+    rng = np.random.default_rng(seed)
+    topo = Topology(family, n, rng, **kw)
+    return NetworkModel(topo, params, np.random.default_rng(seed + 1))
+
+
+class TestRtt:
+    def test_self_rtt_tiny(self):
+        m = model(CCT_NETWORK)
+        assert m.rtt_ms(3, 3) == pytest.approx(0.01)
+
+    def test_cct_rtt_statistics_match_table1(self):
+        m = model(CCT_NETWORK)
+        samples = m.rtt_matrix(samples_per_pair=5)
+        # Table I: CCT mean 0.18 ms
+        assert 0.10 < samples.mean() < 0.30
+        assert samples.max() < 10.0
+
+    def test_ec2_rtt_heavier_tail_than_cct(self):
+        cct = model(CCT_NETWORK).rtt_matrix(3)
+        ec2 = model(EC2_NETWORK, family=VIRTUALIZED, racks_per_agg=12).rtt_matrix(3)
+        assert ec2.mean() > cct.mean()
+        assert ec2.std() > cct.std()
+
+    def test_rtt_nonnegative(self):
+        m = model(EC2_NETWORK, family=VIRTUALIZED)
+        assert all(m.rtt_ms(0, b) > 0 for b in range(1, 20))
+
+
+class TestBandwidth:
+    def test_pairwise_bandwidth_symmetric(self):
+        m = model(EC2_NETWORK, family=VIRTUALIZED)
+        for a in range(0, 20, 3):
+            for b in range(0, 20, 5):
+                if a != b:
+                    assert m.bandwidth_mbps(a, b) == m.bandwidth_mbps(b, a)
+
+    def test_bandwidth_within_clip_bounds(self):
+        m = model(EC2_NETWORK, family=VIRTUALIZED)
+        for a in range(20):
+            for b in range(20):
+                if a != b:
+                    bw = m.bandwidth_mbps(a, b)
+                    assert EC2_NETWORK.bw_min <= bw <= EC2_NETWORK.bw_max
+
+    def test_cct_bandwidth_tight_around_117(self):
+        m = model(CCT_NETWORK)
+        vals = [m.bandwidth_mbps(a, b) for a in range(20) for b in range(20) if a != b]
+        assert 116.5 < np.mean(vals) < 118.0
+        assert np.std(vals) < 1.0
+
+    def test_loopback_is_infinite(self):
+        m = model(CCT_NETWORK)
+        assert np.isinf(m._pair_bw[4, 4])
+
+
+class TestTransfers:
+    def test_transfer_time_scales_with_bytes(self):
+        m = model(CCT_NETWORK)
+        t1 = m.transfer_seconds(10**8, 1, 2)
+        t2 = m.transfer_seconds(2 * 10**8, 1, 2)
+        assert t2 > t1
+
+    def test_contention_slows_transfers(self):
+        m = model(CCT_NETWORK)
+        fast = m.transfer_seconds(10**8, 1, 2, contention=1)
+        slow = m.transfer_seconds(10**8, 1, 2, contention=4)
+        assert slow > 2 * fast
+
+    def test_self_transfer_is_free(self):
+        m = model(CCT_NETWORK)
+        assert m.transfer_seconds(10**9, 3, 3) == 0.0
+
+    def test_128mb_block_transfer_takes_about_a_second_on_cct(self):
+        # 128 MB at ~117 MB/s -> ~1.1 s: the remote-read cost DARE removes
+        m = model(CCT_NETWORK)
+        t = m.transfer_seconds(128 * 1024 * 1024, 1, 2)
+        assert 0.9 < t < 1.6

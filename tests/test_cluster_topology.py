@@ -1,0 +1,101 @@
+"""Unit tests: rack topology and hop counts."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import DEDICATED, VIRTUALIZED, Topology
+
+
+def make(family, n=20, seed=3, **kw):
+    return Topology(family, n, np.random.default_rng(seed), **kw)
+
+
+class TestDedicated:
+    def test_single_rack(self):
+        topo = make(DEDICATED)
+        assert topo.n_racks == 1
+        assert all(topo.rack_of == 0)
+
+    def test_hops_are_one_within_rack(self):
+        topo = make(DEDICATED)
+        assert topo.hops(1, 2) == 1
+
+    def test_self_hops_zero(self):
+        topo = make(DEDICATED)
+        assert topo.hops(3, 3) == 0
+
+    def test_hop_histogram_all_mass_at_one(self):
+        hist = make(DEDICATED).hop_histogram()
+        assert hist[1] == pytest.approx(1.0)
+
+
+class TestVirtualized:
+    def test_nodes_scattered_over_many_racks(self):
+        topo = make(VIRTUALIZED)
+        assert topo.n_racks >= 5  # 20 VMs land on many racks
+
+    def test_hops_symmetric(self):
+        topo = make(VIRTUALIZED)
+        for a in range(0, 20, 3):
+            for b in range(0, 20, 4):
+                assert topo.hops(a, b) == topo.hops(b, a)
+
+    def test_hops_positive_between_distinct_nodes(self):
+        topo = make(VIRTUALIZED)
+        for a in range(5):
+            for b in range(5):
+                if a != b:
+                    assert topo.hops(a, b) >= 1
+
+    def test_same_rack_fewer_hops_than_cross_agg(self):
+        topo = make(VIRTUALIZED, n=60, nodes_per_rack_mean=4.0)
+        racks = topo.racks()
+        same_rack_pair = next(
+            (nodes[0], nodes[1]) for nodes in racks.values() if len(nodes) >= 2
+        )
+        # structural base: same rack is 2, cross-agg is 6; detours are +-2 max
+        a, b = same_rack_pair
+        cross = None
+        for x in range(60):
+            for y in range(60):
+                ra, ry = int(topo.rack_of[x]), int(topo.rack_of[y])
+                if ra != ry and topo.agg_of_rack[ra] != topo.agg_of_rack[ry]:
+                    cross = (x, y)
+                    break
+            if cross:
+                break
+        if cross is None:
+            pytest.skip("allocation fit under one aggregation switch")
+        assert topo.hops(a, b) <= topo.hops(*cross) + 1
+
+    def test_hop_histogram_sums_to_one(self):
+        hist = make(VIRTUALIZED).hop_histogram()
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_mode_near_four_hops_for_small_allocation(self):
+        # the Fig. 1 shape: most EC2 pairs are ~4 hops apart
+        topo = make(VIRTUALIZED, racks_per_agg=12)
+        hist = topo.hop_histogram()
+        assert int(np.argmax(hist)) in (3, 4, 5)
+
+    def test_deterministic_given_rng_seed(self):
+        a = make(VIRTUALIZED, seed=9).hop_matrix()
+        b = make(VIRTUALIZED, seed=9).hop_matrix()
+        assert np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            make("weird")
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            make(DEDICATED, n=0)
+
+    def test_nodes_in_rack_partition(self):
+        topo = make(VIRTUALIZED)
+        all_nodes = sorted(
+            n for rack in range(topo.n_racks) for n in topo.nodes_in_rack(rack)
+        )
+        assert all_nodes == list(range(20))

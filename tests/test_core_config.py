@@ -1,0 +1,51 @@
+"""Unit tests: DARE configuration."""
+
+import pytest
+
+from repro.core.config import DareConfig, Policy
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        DareConfig().validate()
+
+    def test_p_out_of_range(self):
+        with pytest.raises(ValueError):
+            DareConfig(policy=Policy.ELEPHANT_TRAP, p=1.5).validate()
+
+    def test_negative_threshold(self):
+        with pytest.raises(ValueError):
+            DareConfig(policy=Policy.ELEPHANT_TRAP, threshold=-1).validate()
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            DareConfig(policy=Policy.GREEDY_LRU, budget=-0.1).validate()
+
+    def test_non_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DareConfig(policy="greedy").validate()
+
+
+class TestConstructors:
+    def test_off_disabled(self):
+        cfg = DareConfig.off()
+        assert not cfg.enabled
+
+    def test_greedy_lru(self):
+        cfg = DareConfig.greedy_lru(budget=0.3)
+        assert cfg.policy is Policy.GREEDY_LRU
+        assert cfg.budget == 0.3
+        assert cfg.enabled
+
+    def test_elephant_trap_defaults_match_paper(self):
+        # Fig. 7 caption: p = 0.3, threshold = 1, budget = 0.2
+        cfg = DareConfig.elephant_trap()
+        assert cfg.p == 0.3
+        assert cfg.threshold == 1
+        assert cfg.budget == 0.2
+
+    def test_config_is_hashable_and_immutable(self):
+        cfg = DareConfig.elephant_trap()
+        assert hash(cfg)
+        with pytest.raises(AttributeError):
+            cfg.p = 0.5

@@ -1,0 +1,167 @@
+"""Unit tests: Algorithm 2 — the ElephantTrap policy."""
+
+import random
+
+import pytest
+
+from repro.core.elephant_trap import ElephantTrapPolicy
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.hdfs.inode import INode
+
+
+def blocks_of(name, n, file_id, first_id):
+    return INode(file_id, name).allocate_blocks(n * DEFAULT_BLOCK_SIZE, first_id)
+
+
+@pytest.fixture
+def fa():
+    return blocks_of("a", 6, 0, 0)
+
+
+@pytest.fixture
+def fb():
+    return blocks_of("b", 6, 1, 100)
+
+
+def make(p=1.0, threshold=1, seed=3):
+    return ElephantTrapPolicy(p, threshold, random.Random(seed))
+
+
+class TestCoinTosses:
+    def test_p_one_always_fires(self, fa):
+        et = make(p=1.0)
+        assert all(et.wants_replica(fa[0]) for _ in range(20))
+        assert all(et.wants_refresh(fa[0]) for _ in range(20))
+
+    def test_p_zero_never_fires(self, fa):
+        et = make(p=0.0)
+        assert not any(et.wants_replica(fa[0]) for _ in range(20))
+
+    def test_p_fraction_of_tosses(self, fa):
+        et = make(p=0.3)
+        hits = sum(et.wants_replica(fa[0]) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            make(p=1.5)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            make(threshold=-1)
+
+
+class TestRing:
+    def test_insert_starts_with_zero_count(self, fa):
+        et = make()
+        et.add(fa[0])
+        assert et.access_count(fa[0].block_id) == 0
+        assert len(et) == 1
+
+    def test_double_add_rejected(self, fa):
+        et = make()
+        et.add(fa[0])
+        with pytest.raises(ValueError):
+            et.add(fa[0])
+
+    def test_local_access_increments(self, fa):
+        et = make()
+        et.add(fa[0])
+        et.on_local_access(fa[0])
+        et.on_local_access(fa[0])
+        assert et.access_count(fa[0].block_id) == 2
+
+    def test_untracked_access_ignored(self, fa, fb):
+        et = make()
+        et.add(fa[0])
+        et.on_local_access(fb[0])
+        assert len(et) == 1
+
+    def test_remove_fixes_pointer(self, fa):
+        et = make()
+        for b in fa[:4]:
+            et.add(b)
+        et.remove(fa[1].block_id)
+        assert len(et) == 3
+        # the ring remains iterable and consistent
+        assert {b.block_id for b in et.ring_blocks()} == {
+            fa[0].block_id, fa[2].block_id, fa[3].block_id
+        }
+
+    def test_remove_untracked_is_noop(self, fa):
+        make().remove(fa[0].block_id)
+
+    def test_remove_all_resets_pointer(self, fa):
+        et = make()
+        et.add(fa[0])
+        et.remove(fa[0].block_id)
+        assert len(et) == 0
+        et.add(fa[1])  # reinsertion after empty must work
+        assert len(et) == 1
+
+
+class TestEvictionWalk:
+    def test_fresh_block_is_immediate_victim_at_threshold_one(self, fa, fb):
+        et = make(threshold=1)
+        et.add(fa[0])  # count 0 < 1 -> evictable
+        assert et.pick_victim(fb[0]) is fa[0]
+
+    def test_popular_blocks_survive_one_walk(self, fa, fb):
+        et = make(threshold=1)
+        et.add(fa[0])
+        for _ in range(4):
+            et.on_local_access(fa[0])  # count 4
+        # single block with count >= threshold: a full lap halves but the
+        # count stays >= 1, so no victim is found
+        assert et.pick_victim(fb[0]) is None
+        assert et.access_count(fa[0].block_id) < 4  # aging happened
+
+    def test_competitive_aging_halves_counts(self, fa, fb):
+        et = make(threshold=1)
+        et.add(fa[0])
+        et.add(fa[1])
+        for _ in range(8):
+            et.on_local_access(fa[0])
+        for _ in range(2):
+            et.on_local_access(fa[1])
+        et.pick_victim(fb[0])  # walk halves what it visits
+        total = et.access_count(fa[0].block_id) + et.access_count(fa[1].block_id)
+        assert total < 10
+
+    def test_repeated_pressure_eventually_finds_victim(self, fa, fb):
+        et = make(threshold=1)
+        et.add(fa[0])
+        for _ in range(4):
+            et.on_local_access(fa[0])
+        # 4 -> 2 -> 1 -> 0: three walks age it below the threshold
+        for _ in range(3):
+            victim = et.pick_victim(fb[0])
+            if victim is not None:
+                break
+        assert victim is fa[0]
+
+    def test_same_file_candidate_aborts_eviction(self, fa):
+        et = make(threshold=1)
+        et.add(fa[0])
+        assert et.pick_victim(fa[1]) is None  # same file -> null
+
+    def test_empty_ring_has_no_victim(self, fb):
+        assert make().pick_victim(fb[0]) is None
+
+    def test_victim_preference_follows_pointer_order(self, fa, fb):
+        et = make(threshold=1)
+        et.add(fa[0])
+        et.add(fa[1])
+        et.add(fa[2])
+        v1 = et.pick_victim(fb[0])
+        assert v1 in fa
+
+    def test_higher_threshold_evicts_more_easily(self, fa, fb):
+        lo = make(threshold=1)
+        hi = make(threshold=5)
+        for et in (lo, hi):
+            et.add(fa[0])
+            for _ in range(3):
+                et.on_local_access(fa[0])  # count 3
+        assert lo.pick_victim(fb[0]) is None  # 3 >= 1 even after halving once
+        assert hi.pick_victim(fb[0]) is fa[0]  # 3 < 5 -> immediate victim

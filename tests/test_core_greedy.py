@@ -1,0 +1,111 @@
+"""Unit tests: Algorithm 1 — greedy LRU (and the LFU ablation)."""
+
+import pytest
+
+from repro.core.greedy import GreedyLFUPolicy, GreedyLRUPolicy
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.hdfs.inode import INode
+
+
+def blocks_of(name, n, file_id, first_id):
+    return INode(file_id, name).allocate_blocks(n * DEFAULT_BLOCK_SIZE, first_id)
+
+
+@pytest.fixture
+def fa():
+    return blocks_of("a", 4, 0, 0)
+
+
+@pytest.fixture
+def fb():
+    return blocks_of("b", 4, 1, 100)
+
+
+class TestLRUTracking:
+    def test_add_and_contains(self, fa):
+        p = GreedyLRUPolicy()
+        p.add(fa[0])
+        assert fa[0].block_id in p
+        assert len(p) == 1
+
+    def test_double_add_rejected(self, fa):
+        p = GreedyLRUPolicy()
+        p.add(fa[0])
+        with pytest.raises(ValueError):
+            p.add(fa[0])
+
+    def test_remove_untracked_is_noop(self, fa):
+        GreedyLRUPolicy().remove(fa[0].block_id)
+
+    def test_greedy_always_wants_replica_and_refresh(self, fa):
+        p = GreedyLRUPolicy()
+        assert p.wants_replica(fa[0])
+        assert p.wants_refresh(fa[0])
+        assert p.probabilistic is False
+
+
+class TestLRUEviction:
+    def test_victim_is_least_recently_used(self, fa, fb):
+        p = GreedyLRUPolicy()
+        p.add(fa[0])
+        p.add(fa[1])
+        assert p.pick_victim(fb[0]) is fa[0]
+
+    def test_access_refreshes_order(self, fa, fb):
+        p = GreedyLRUPolicy()
+        p.add(fa[0])
+        p.add(fa[1])
+        p.on_local_access(fa[0])  # front block becomes most recent
+        assert p.pick_victim(fb[0]) is fa[1]
+
+    def test_same_file_victims_skipped(self, fa, fb):
+        p = GreedyLRUPolicy()
+        p.add(fa[0])  # LRU front, but same file as the evicting block
+        p.add(fb[0])
+        assert p.pick_victim(fa[1]) is fb[0]
+
+    def test_no_victim_when_everything_is_same_file(self, fa):
+        p = GreedyLRUPolicy()
+        p.add(fa[0])
+        p.add(fa[1])
+        assert p.pick_victim(fa[2]) is None
+
+    def test_empty_policy_has_no_victim(self, fb):
+        assert GreedyLRUPolicy().pick_victim(fb[0]) is None
+
+    def test_access_of_untracked_block_ignored(self, fa, fb):
+        p = GreedyLRUPolicy()
+        p.add(fa[0])
+        p.on_local_access(fb[0])  # not tracked; must not corrupt state
+        assert p.pick_victim(fb[1]) is fa[0]
+
+
+class TestLFU:
+    def test_victim_is_least_frequently_used(self, fa, fb):
+        p = GreedyLFUPolicy()
+        p.add(fa[0])
+        p.add(fa[1])
+        for _ in range(3):
+            p.on_local_access(fa[0])
+        assert p.pick_victim(fb[0]) is fa[1]
+
+    def test_tie_breaks_by_insertion_order(self, fa, fb):
+        p = GreedyLFUPolicy()
+        p.add(fa[0])
+        p.add(fa[1])
+        assert p.pick_victim(fb[0]) is fa[0]
+
+    def test_same_file_excluded(self, fa, fb):
+        p = GreedyLFUPolicy()
+        p.add(fa[0])
+        p.add(fb[0])
+        for _ in range(5):
+            p.on_local_access(fb[0])
+        # fb[0] is more frequent but fa[0] shares the evicting file
+        assert p.pick_victim(fa[1]) is fb[0]
+
+    def test_remove_cleans_counts(self, fa):
+        p = GreedyLFUPolicy()
+        p.add(fa[0])
+        p.remove(fa[0].block_id)
+        assert fa[0].block_id not in p._counts

@@ -1,0 +1,123 @@
+"""Integration tests: the per-figure drivers (reduced scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    fig2_popularity,
+    fig3_age_cdf,
+    fig4_windows,
+    fig5_windows_day,
+    fig6_access_cdf,
+    fig7_cct,
+    fig8a_p_sweep,
+    fig9a_budget_sweep_lru,
+    fig11_uniformity,
+)
+from repro.experiments.tables import (
+    bandwidth_ratios,
+    fig1_hop_distribution,
+    table1_rtt,
+    table2_bandwidth,
+)
+
+N_JOBS = 80  # reduced scale: shapes hold, runtimes stay test-friendly
+
+
+class TestTables:
+    def test_table1_ec2_noisier_than_cct(self):
+        rows = {r.cluster: r.stats for r in table1_rtt()}
+        assert rows["ec2"].mean > rows["cct"].mean
+        assert rows["ec2"].std > rows["cct"].std
+        assert rows["ec2"].max > 10  # processor-sharing outliers
+
+    def test_table2_calibration(self):
+        rows = {r.label: r.stats for r in table2_bandwidth()}
+        assert 150 < rows["cct disk bandwidth"].mean < 165
+        assert 115 < rows["cct network bandwidth"].mean < 119
+        assert rows["ec2 disk bandwidth"].std > 50
+        assert rows["ec2 network bandwidth"].mean < 90
+
+    def test_bandwidth_ratio_key_insight(self):
+        ratios = bandwidth_ratios()
+        # paper: 74.6% vs 51.75% — CCT's ratio ~40% higher
+        assert ratios["cct"] > 1.2 * ratios["ec2"]
+
+    def test_fig1_mode_at_four_hops(self):
+        hist = fig1_hop_distribution()
+        assert int(np.argmax(hist)) in (3, 4, 5)
+        assert hist.sum() == pytest.approx(1.0)
+
+
+class TestSectionIIIFigures:
+    def test_fig2_heavy_tail(self):
+        pop = fig2_popularity()
+        assert pop["raw"][0] > 100 * pop["raw"][min(999, len(pop["raw"]) - 1)]
+
+    def test_fig3_age_concentration(self):
+        out = fig3_age_cdf(grid_hours=np.array([24.0, 168.0]))
+        assert 0.6 < out["cdf"][0] < 0.95
+        assert out["cdf"][1] == pytest.approx(1.0)
+
+    def test_fig4_both_panels(self):
+        panels = fig4_windows()
+        for key in ("unweighted", "weighted"):
+            _, frac = panels[key]
+            assert frac.sum() == pytest.approx(1.0)
+
+    def test_fig5_day_windows_tight(self):
+        _, frac = fig5_windows_day()["unweighted"]
+        assert frac[:2].sum() > 0.8
+
+    def test_fig6_cdf_shape(self):
+        cdf = fig6_access_cdf(n_jobs=N_JOBS)
+        assert cdf[-1] == pytest.approx(1.0)
+        assert cdf[0] > 0.15  # heavy head
+
+
+class TestClusterFigures:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return fig7_cct(n_jobs=N_JOBS)
+
+    def test_fig7_grid_complete(self, cells):
+        combos = {(c.scheduler, c.workload) for c in cells}
+        assert combos == {("fifo", "wl1"), ("fair", "wl1"), ("fifo", "wl2"), ("fair", "wl2")}
+
+    def test_fig7_dare_improves_fifo_locality(self, cells):
+        for c in cells:
+            if c.scheduler == "fifo":
+                assert c.locality["lru"] > c.locality["vanilla"]
+                assert c.locality["elephant-trap"] > c.locality["vanilla"]
+
+    def test_fig7_fair_vanilla_beats_fifo_vanilla(self, cells):
+        by = {(c.scheduler, c.workload): c for c in cells}
+        for wl in ("wl1", "wl2"):
+            assert (
+                by[("fair", wl)].locality["vanilla"]
+                > by[("fifo", wl)].locality["vanilla"]
+            )
+
+    def test_fig7_gmtt_normalized_to_vanilla(self, cells):
+        for c in cells:
+            assert c.gmtt_normalized["vanilla"] == pytest.approx(1.0)
+            assert c.gmtt_normalized["lru"] <= 1.02
+
+    def test_fig8a_locality_rises_with_p(self):
+        points = fig8a_p_sweep(p_values=(0.0, 0.3, 0.9), n_jobs=N_JOBS)
+        fifo = {pt.x: pt for pt in points if pt.scheduler == "fifo"}
+        assert fifo[0.9].locality > fifo[0.0].locality
+        assert fifo[0.9].blocks_per_job >= fifo[0.3].blocks_per_job
+        assert fifo[0.0].blocks_per_job == 0.0
+
+    def test_fig9a_budget_zero_is_vanilla(self):
+        points = fig9a_budget_sweep_lru(budgets=(0.0, 0.4), n_jobs=N_JOBS)
+        fifo = {pt.x: pt for pt in points if pt.scheduler == "fifo"}
+        assert fifo[0.0].blocks_per_job == 0.0
+        assert fifo[0.4].locality > fifo[0.0].locality
+
+    def test_fig11_dare_reduces_cv(self):
+        points = fig11_uniformity(p_values=(0.0, 0.3), n_jobs=N_JOBS)
+        by_p = {pt.p: pt for pt in points}
+        assert by_p[0.0].cv_after == pytest.approx(by_p[0.0].cv_before)
+        assert by_p[0.3].cv_after < by_p[0.3].cv_before

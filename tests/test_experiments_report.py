@@ -1,0 +1,73 @@
+"""Integration tests: the results/report generator."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import (
+    collect_results,
+    results_to_markdown,
+    write_report,
+)
+
+N_JOBS = 40
+
+
+@pytest.fixture(scope="module")
+def results():
+    return collect_results(n_jobs=N_JOBS)
+
+
+class TestCollect:
+    def test_all_sections_present(self, results):
+        for key in (
+            "scale",
+            "table1_rtt_ms",
+            "table2_bandwidth_mbps",
+            "bandwidth_ratios",
+            "fig1_hop_histogram",
+            "fig2_popularity",
+            "fig3_age",
+            "fig4_windows",
+            "fig5_day_windows",
+            "fig6_access_cdf",
+            "fig7_cct",
+            "fig8a_p_sweep",
+            "fig9a_budget_lru",
+            "fig10_ec2",
+            "fig11_uniformity",
+            "ablation_disk_writes",
+            "ablation_oversubscription",
+        ):
+            assert key in results, key
+
+    def test_json_serializable(self, results):
+        text = json.dumps(results)
+        assert json.loads(text) == json.loads(text)
+
+    def test_fig7_has_all_cells(self, results):
+        combos = {(c["scheduler"], c["workload"]) for c in results["fig7_cct"]}
+        assert len(combos) == 4
+
+    def test_scale_recorded(self, results):
+        assert results["scale"]["n_jobs"] == N_JOBS
+
+
+class TestMarkdown:
+    def test_renders_tables(self, results):
+        md = results_to_markdown(results)
+        assert "# DARE reproduction report" in md
+        assert "| cluster |" in md
+        assert "Figure 7 (CCT)" in md
+        assert "Figure 11" in md
+        assert "Oversubscription" in md
+
+    def test_write_report(self, tmp_path, results, monkeypatch):
+        import repro.experiments.report as report_mod
+
+        monkeypatch.setattr(report_mod, "collect_results", lambda *a, **k: results)
+        paths = write_report(tmp_path, n_jobs=N_JOBS)
+        assert paths["json"].exists()
+        assert paths["markdown"].exists()
+        loaded = json.loads(paths["json"].read_text())
+        assert loaded["scale"]["n_jobs"] == N_JOBS

@@ -1,0 +1,113 @@
+"""Integration tests: the end-to-end experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DareConfig
+from repro.experiments.runner import ExperimentConfig, make_scheduler, run_experiment
+from repro.scheduling.fair import FairScheduler
+from repro.scheduling.fifo import FifoScheduler
+from repro.workloads.swim import synthesize_wl1
+from tests.conftest import SMALL_SPEC
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return synthesize_wl1(np.random.default_rng(7), n_jobs=60)
+
+
+@pytest.fixture(scope="module")
+def vanilla(wl):
+    return run_experiment(ExperimentConfig(cluster_spec=SMALL_SPEC), wl)
+
+
+@pytest.fixture(scope="module")
+def dare_et(wl):
+    return run_experiment(
+        ExperimentConfig(cluster_spec=SMALL_SPEC, dare=DareConfig.elephant_trap()), wl
+    )
+
+
+class TestSchedulerFactory:
+    def test_fifo(self):
+        assert isinstance(make_scheduler("fifo"), FifoScheduler)
+
+    def test_fair(self):
+        assert isinstance(make_scheduler("fair"), FairScheduler)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("lottery")
+
+
+class TestRunCompleteness:
+    def test_all_jobs_complete(self, vanilla, wl):
+        assert vanilla.n_jobs == wl.n_jobs
+
+    def test_every_map_task_recorded(self, vanilla, wl):
+        assert len(vanilla.collector.map_records) == wl.total_map_tasks()
+
+    def test_locality_counts_match_map_total(self, vanilla, wl):
+        assert vanilla.locality.total == wl.total_map_tasks()
+
+    def test_vanilla_creates_no_replicas(self, vanilla):
+        assert vanilla.blocks_created == 0
+        assert vanilla.replication_disk_writes == 0
+
+    def test_makespan_covers_submissions(self, vanilla, wl):
+        assert vanilla.makespan_s >= max(s.submit_time for s in wl.specs)
+
+    def test_metrics_in_sane_ranges(self, vanilla):
+        assert 0.0 <= vanilla.job_locality <= 1.0
+        assert vanilla.gmtt_s > 0
+        assert vanilla.slowdown > 0.9
+        assert vanilla.cv_before > 0
+
+
+class TestDareEffects:
+    def test_dare_improves_locality(self, vanilla, dare_et):
+        assert dare_et.job_locality > vanilla.job_locality
+
+    def test_dare_creates_replicas(self, dare_et):
+        assert dare_et.blocks_created > 0
+        assert dare_et.blocks_created_per_job > 0
+
+    def test_dare_does_not_hurt_turnaround(self, vanilla, dare_et):
+        assert dare_et.gmtt_s <= vanilla.gmtt_s * 1.05
+
+    def test_dare_improves_placement_uniformity(self, dare_et):
+        assert dare_et.cv_after < dare_et.cv_before
+
+    def test_writes_match_replica_creations(self, dare_et):
+        assert dare_et.replication_disk_writes >= dare_et.blocks_created
+
+
+class TestDeterminism:
+    def test_same_config_same_result(self, wl):
+        cfg = ExperimentConfig(cluster_spec=SMALL_SPEC, dare=DareConfig.elephant_trap())
+        a = run_experiment(cfg, wl)
+        b = run_experiment(cfg, wl)
+        assert a.job_locality == b.job_locality
+        assert a.gmtt_s == b.gmtt_s
+        assert a.blocks_created == b.blocks_created
+
+    def test_seed_changes_result(self, wl):
+        a = run_experiment(ExperimentConfig(cluster_spec=SMALL_SPEC, seed=1), wl)
+        b = run_experiment(ExperimentConfig(cluster_spec=SMALL_SPEC, seed=2), wl)
+        assert a.gmtt_s != b.gmtt_s
+
+    def test_label(self):
+        cfg = ExperimentConfig(cluster_spec=SMALL_SPEC, scheduler="fair")
+        assert "fair" in cfg.label()
+
+
+class TestNoExtraNetworkInvariant:
+    def test_replications_all_piggybacked(self, wl):
+        """DARE's headline invariant: every replica rides an existing
+        remote read; the service never initiates transfers."""
+        cfg = ExperimentConfig(
+            cluster_spec=SMALL_SPEC, dare=DareConfig.greedy_lru(budget=0.5)
+        )
+        r = run_experiment(cfg, wl)
+        remote_maps = r.locality.rack_local + r.locality.remote
+        assert r.blocks_created <= remote_maps

@@ -1,0 +1,68 @@
+"""Unit tests: blocks and INodes."""
+
+import pytest
+
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE, Block
+from repro.hdfs.inode import INode
+
+
+class TestINodeAllocation:
+    def test_whole_blocks(self):
+        f = INode(0, "a", replication=3)
+        blocks = f.allocate_blocks(3 * DEFAULT_BLOCK_SIZE, first_block_id=10)
+        assert [b.block_id for b in blocks] == [10, 11, 12]
+        assert all(b.size_bytes == DEFAULT_BLOCK_SIZE for b in blocks)
+
+    def test_partial_last_block(self):
+        f = INode(0, "a")
+        blocks = f.allocate_blocks(DEFAULT_BLOCK_SIZE + 1000, first_block_id=0)
+        assert len(blocks) == 2
+        assert blocks[1].size_bytes == 1000
+
+    def test_size_bytes_round_trips(self):
+        f = INode(0, "a")
+        f.allocate_blocks(5 * DEFAULT_BLOCK_SIZE + 7, 0)
+        assert f.size_bytes == 5 * DEFAULT_BLOCK_SIZE + 7
+        assert f.n_blocks == 6
+
+    def test_block_indices_ordered(self):
+        f = INode(0, "a")
+        blocks = f.allocate_blocks(4 * DEFAULT_BLOCK_SIZE, 100)
+        assert [b.index for b in blocks] == [0, 1, 2, 3]
+
+    def test_files_are_immutable(self):
+        f = INode(0, "a")
+        f.allocate_blocks(DEFAULT_BLOCK_SIZE, 0)
+        with pytest.raises(ValueError, match="immutable"):
+            f.allocate_blocks(DEFAULT_BLOCK_SIZE, 10)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError):
+            INode(0, "a").allocate_blocks(0, 0)
+
+    def test_invalid_replication_rejected(self):
+        with pytest.raises(ValueError):
+            INode(0, "a", replication=0)
+
+
+class TestBlockFileMembership:
+    def test_same_file(self):
+        f = INode(0, "a")
+        blocks = f.allocate_blocks(2 * DEFAULT_BLOCK_SIZE, 0)
+        assert blocks[0].same_file(blocks[1])
+
+    def test_different_files(self):
+        fa = INode(0, "a")
+        fb = INode(1, "b")
+        a = fa.allocate_blocks(DEFAULT_BLOCK_SIZE, 0)[0]
+        b = fb.allocate_blocks(DEFAULT_BLOCK_SIZE, 1)[0]
+        assert not a.same_file(b)
+
+    def test_file_id_back_pointer(self):
+        f = INode(42, "a")
+        b = f.allocate_blocks(DEFAULT_BLOCK_SIZE, 0)[0]
+        assert b.file_id == 42
+
+    def test_zero_size_block_rejected(self):
+        with pytest.raises(ValueError):
+            Block(0, INode(0, "a"), 0, 0)

@@ -1,0 +1,122 @@
+"""Unit tests: DataNode storage and dynamic-replica accounting."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.inode import INode
+from repro.hdfs.protocol import DNA_DYNREPL, DNA_INVALIDATE
+
+
+@pytest.fixture
+def dn():
+    node = Node(1, 0, 100.0, 50.0)
+    return DataNode(node, dynamic_capacity_bytes=2 * DEFAULT_BLOCK_SIZE)
+
+
+@pytest.fixture
+def blocks():
+    f = INode(0, "f")
+    return f.allocate_blocks(4 * DEFAULT_BLOCK_SIZE, 0)
+
+
+class TestStaticStorage:
+    def test_store_and_query(self, dn, blocks):
+        dn.store_static(blocks[0])
+        assert dn.has_block(0)
+        assert not dn.has_dynamic(0)
+
+    def test_double_store_rejected(self, dn, blocks):
+        dn.store_static(blocks[0])
+        with pytest.raises(ValueError):
+            dn.store_static(blocks[0])
+
+    def test_static_store_counts_disk_write(self, dn, blocks):
+        dn.store_static(blocks[0])
+        assert dn.disk_writes == 1
+
+
+class TestDynamicReplicas:
+    def test_insert_consumes_budget(self, dn, blocks):
+        dn.insert_dynamic(blocks[0], now=1.0)
+        assert dn.has_dynamic(0)
+        assert dn.dynamic_bytes_used == DEFAULT_BLOCK_SIZE
+        assert dn.dynamic_bytes_free == DEFAULT_BLOCK_SIZE
+
+    def test_insert_queues_dynrepl_announcement(self, dn, blocks):
+        dn.insert_dynamic(blocks[0], now=1.0)
+        cmds = dn.drain_outbox()
+        assert len(cmds) == 1
+        assert cmds[0].op == DNA_DYNREPL
+        assert cmds[0].block_id == 0
+
+    def test_insert_over_budget_rejected(self, dn, blocks):
+        dn.insert_dynamic(blocks[0], 1.0)
+        dn.insert_dynamic(blocks[1], 1.0)
+        with pytest.raises(ValueError, match="budget"):
+            dn.insert_dynamic(blocks[2], 1.0)
+
+    def test_would_exceed_budget(self, dn, blocks):
+        assert not dn.would_exceed_budget(blocks[0])
+        dn.insert_dynamic(blocks[0], 1.0)
+        dn.insert_dynamic(blocks[1], 1.0)
+        assert dn.would_exceed_budget(blocks[2])
+
+    def test_insert_of_present_block_rejected(self, dn, blocks):
+        dn.store_static(blocks[0])
+        with pytest.raises(ValueError, match="data-local"):
+            dn.insert_dynamic(blocks[0], 1.0)
+
+    def test_counters(self, dn, blocks):
+        dn.insert_dynamic(blocks[0], 1.0)
+        assert dn.blocks_replicated == 1
+        assert dn.disk_writes == 1
+
+
+class TestLazyDeletion:
+    def test_mark_frees_budget_immediately(self, dn, blocks):
+        dn.insert_dynamic(blocks[0], 1.0)
+        dn.mark_for_deletion(0, 2.0)
+        assert dn.dynamic_bytes_used == 0
+        assert not dn.has_block(0)
+
+    def test_mark_queues_invalidate(self, dn, blocks):
+        dn.insert_dynamic(blocks[0], 1.0)
+        dn.drain_outbox()
+        dn.mark_for_deletion(0, 2.0)
+        cmds = dn.drain_outbox()
+        assert [c.op for c in cmds] == [DNA_INVALIDATE]
+
+    def test_mark_unknown_block_rejected(self, dn):
+        with pytest.raises(KeyError):
+            dn.mark_for_deletion(99, 1.0)
+
+    def test_mark_is_idempotent(self, dn, blocks):
+        dn.insert_dynamic(blocks[0], 1.0)
+        dn.mark_for_deletion(0, 2.0)
+        dn.mark_for_deletion(0, 2.0)
+        assert dn.blocks_evicted == 1
+        assert dn.dynamic_bytes_used == 0
+
+    def test_complete_deletions_drops_blocks(self, dn, blocks):
+        dn.insert_dynamic(blocks[0], 1.0)
+        dn.mark_for_deletion(0, 2.0)
+        dropped = dn.complete_deletions()
+        assert dropped == [0]
+        assert 0 not in dn.dynamic_blocks
+
+    def test_reinsert_after_mark_revives(self, dn, blocks):
+        dn.insert_dynamic(blocks[0], 1.0)
+        dn.mark_for_deletion(0, 2.0)
+        dn.insert_dynamic(blocks[0], 3.0)  # re-fetch revives the replica
+        assert dn.has_dynamic(0)
+        assert dn.dynamic_bytes_used == DEFAULT_BLOCK_SIZE
+        # outbox ends in DYNREPL so the NameNode converges to 'present'
+        assert dn.drain_outbox()[-1].op == DNA_DYNREPL
+
+    def test_stored_block_ids_excludes_pending(self, dn, blocks):
+        dn.store_static(blocks[0])
+        dn.insert_dynamic(blocks[1], 1.0)
+        dn.mark_for_deletion(1, 2.0)
+        assert dn.stored_block_ids() == {0}

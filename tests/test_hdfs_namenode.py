@@ -1,0 +1,140 @@
+"""Unit tests: NameNode metadata, placement, and heartbeat control plane."""
+
+import pytest
+
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.hdfs.protocol import DNA_DYNREPL, DatanodeCommand
+
+
+class TestNamespace:
+    def test_create_file_allocates_blocks(self, namenode):
+        f = namenode.create_file("a", 3 * DEFAULT_BLOCK_SIZE)
+        assert f.n_blocks == 3
+        assert namenode.file("a") is f
+
+    def test_duplicate_name_rejected(self, namenode):
+        namenode.create_file("a", DEFAULT_BLOCK_SIZE)
+        with pytest.raises(ValueError):
+            namenode.create_file("a", DEFAULT_BLOCK_SIZE)
+
+    def test_missing_file_raises(self, namenode):
+        with pytest.raises(FileNotFoundError):
+            namenode.file("ghost")
+
+    def test_block_ids_globally_unique(self, namenode):
+        a = namenode.create_file("a", 2 * DEFAULT_BLOCK_SIZE)
+        b = namenode.create_file("b", 2 * DEFAULT_BLOCK_SIZE)
+        ids = [blk.block_id for blk in a.blocks + b.blocks]
+        assert len(set(ids)) == 4
+
+    def test_total_dataset_bytes(self, loaded_namenode):
+        assert loaded_namenode.total_dataset_bytes == 10 * DEFAULT_BLOCK_SIZE
+
+
+class TestInitialPlacement:
+    def test_each_block_gets_rf_replicas(self, namenode):
+        f = namenode.create_file("a", 4 * DEFAULT_BLOCK_SIZE, replication=3)
+        for blk in f.blocks:
+            assert namenode.replica_count(blk.block_id) == 3
+
+    def test_replicas_on_distinct_slaves(self, namenode):
+        f = namenode.create_file("a", 4 * DEFAULT_BLOCK_SIZE, replication=3)
+        for blk in f.blocks:
+            locs = namenode.locations(blk.block_id)
+            assert len(locs) == len(set(locs))
+            assert all(namenode.cluster.nodes[n].is_master is False for n in locs)
+
+    def test_datanodes_actually_store_replicas(self, namenode):
+        f = namenode.create_file("a", 2 * DEFAULT_BLOCK_SIZE, replication=2)
+        for blk in f.blocks:
+            for node_id in namenode.locations(blk.block_id):
+                assert namenode.datanode(node_id).has_block(blk.block_id)
+
+    def test_rf_capped_at_slave_count(self, namenode):
+        f = namenode.create_file("a", DEFAULT_BLOCK_SIZE, replication=100)
+        assert namenode.replica_count(f.blocks[0].block_id) == len(namenode.datanodes)
+
+    def test_is_local(self, namenode):
+        f = namenode.create_file("a", DEFAULT_BLOCK_SIZE)
+        bid = f.blocks[0].block_id
+        loc = next(iter(namenode.locations(bid)))
+        assert namenode.is_local(bid, loc)
+
+
+class TestHeartbeatControlPlane:
+    def test_dynrepl_becomes_visible_on_heartbeat(self, loaded_namenode):
+        nn = loaded_namenode
+        blk = nn.file("hot").blocks[0]
+        outsider = next(
+            nid for nid in nn.datanodes if nid not in nn.locations(blk.block_id)
+        )
+        dn = nn.datanode(outsider)
+        dn.dynamic_capacity_bytes = DEFAULT_BLOCK_SIZE
+        dn.insert_dynamic(blk, now=1.0)
+        # not visible until the heartbeat delivers the DNA_DYNREPL
+        assert outsider not in nn.locations(blk.block_id)
+        nn.process_heartbeat(outsider, now=2.0)
+        assert outsider in nn.locations(blk.block_id)
+
+    def test_invalidate_removes_from_view(self, loaded_namenode):
+        nn = loaded_namenode
+        blk = nn.file("hot").blocks[0]
+        outsider = next(
+            nid for nid in nn.datanodes if nid not in nn.locations(blk.block_id)
+        )
+        dn = nn.datanode(outsider)
+        dn.dynamic_capacity_bytes = DEFAULT_BLOCK_SIZE
+        dn.insert_dynamic(blk, 1.0)
+        nn.process_heartbeat(outsider, 2.0)
+        dn.mark_for_deletion(blk.block_id, 3.0)
+        nn.process_heartbeat(outsider, 4.0)
+        assert outsider not in nn.locations(blk.block_id)
+        assert blk.block_id not in dn.dynamic_blocks  # physically dropped
+
+    def test_command_log_records_applied_messages(self, loaded_namenode):
+        nn = loaded_namenode
+        blk = nn.file("hot").blocks[0]
+        outsider = next(
+            nid for nid in nn.datanodes if nid not in nn.locations(blk.block_id)
+        )
+        dn = nn.datanode(outsider)
+        dn.dynamic_capacity_bytes = DEFAULT_BLOCK_SIZE
+        dn.insert_dynamic(blk, 1.0)
+        nn.process_heartbeat(outsider, 2.0)
+        assert any(c.op == DNA_DYNREPL for c in nn.command_log)
+
+    def test_heartbeat_with_empty_outbox_is_noop(self, loaded_namenode):
+        before = dict(loaded_namenode._locations)
+        loaded_namenode.process_heartbeat(1, now=1.0)
+        assert loaded_namenode._locations == before
+
+    def test_integrity_check_passes_on_fresh_namespace(self, loaded_namenode):
+        loaded_namenode.check_integrity()
+
+    def test_integrity_check_detects_phantom_replica(self, loaded_namenode):
+        nn = loaded_namenode
+        blk = nn.file("hot").blocks[0]
+        phantom = next(
+            nid for nid in nn.datanodes if nid not in nn.locations(blk.block_id)
+        )
+        nn._locations[blk.block_id].add(phantom)
+        with pytest.raises(AssertionError, match="does not store"):
+            nn.check_integrity()
+
+
+class TestProtocolValidation:
+    def test_unknown_op_rejected(self):
+        cmd = DatanodeCommand("DNA_WHATEVER", 1, 2, 0.0)
+        with pytest.raises(ValueError):
+            cmd.validate()
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            DatanodeCommand(DNA_DYNREPL, -1, 2, 0.0).validate()
+
+    def test_constructors(self):
+        a = DatanodeCommand.dynrepl(1, 2, 3.0)
+        b = DatanodeCommand.invalidate(1, 2, 3.0)
+        a.validate()
+        b.validate()
+        assert a.op != b.op

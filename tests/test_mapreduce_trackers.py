@@ -1,0 +1,162 @@
+"""Unit/integration tests: TaskTracker and JobTracker mechanics."""
+
+import pytest
+
+from repro.core.config import DareConfig
+from repro.core.manager import DareReplicationService
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.jobtracker import JobTracker
+from repro.mapreduce.runtime import TaskTimeModel
+from repro.mapreduce.task import TaskState
+from repro.scheduling.fifo import FifoScheduler
+from repro.simulation.engine import Engine
+from repro.simulation.rng import RandomStreams
+
+
+@pytest.fixture
+def stack(small_cluster, loaded_namenode):
+    """A fully wired JobTracker on the small test cluster."""
+    engine = Engine()
+    streams = RandomStreams(17)
+    dare = DareReplicationService(DareConfig.off(), loaded_namenode, streams)
+    tm = TaskTimeModel(small_cluster, loaded_namenode, streams.python("tm"))
+    jt = JobTracker(
+        small_cluster, loaded_namenode, engine, FifoScheduler(), tm, dare
+    )
+    return engine, jt
+
+
+class TestTaskTracker:
+    def test_heartbeats_stagger_and_repeat(self, stack):
+        engine, jt = stack
+        jt.expected_jobs = 0
+        jt.start_tasktrackers()
+        engine.run(until=10.0)
+        for tt in jt.tasktrackers.values():
+            # ~10 heartbeats in 10 s at a 1 s interval
+            assert 8 <= tt.heartbeats_sent <= 11
+
+    def test_heartbeats_stop_when_jobtracker_finished(self, stack):
+        engine, jt = stack
+        jt.finished = True
+        jt.start_tasktrackers()
+        engine.run(until=10.0)
+        for tt in jt.tasktrackers.values():
+            assert tt.heartbeats_sent == 1  # the initial one only
+
+    def test_slot_over_release_guards(self, stack):
+        _, jt = stack
+        jt.start_tasktrackers()
+        tt = next(iter(jt.tasktrackers.values()))
+        with pytest.raises(RuntimeError):
+            tt.release_map_slot()
+        for _ in range(tt.node.map_slots):
+            tt.occupy_map_slot()
+        with pytest.raises(RuntimeError):
+            tt.occupy_map_slot()
+
+
+class TestJobLifecycle:
+    def test_single_job_runs_to_completion(self, stack):
+        engine, jt = stack
+        spec = JobSpec(job_id=0, submit_time=1.0, input_file="hot", n_reduces=1)
+        jt.submit_trace([spec])
+        jt.start_tasktrackers()
+        engine.run()
+        assert jt.finished
+        assert jt.completed_jobs == 1
+        job = jt.jobs[0]
+        assert job.done
+        assert job.finish_time > job.submit_time
+        assert all(t.state is TaskState.DONE for t in job.maps)
+        assert all(t.state is TaskState.DONE for t in job.reduces)
+
+    def test_map_only_job_completes(self, stack):
+        engine, jt = stack
+        spec = JobSpec(job_id=0, submit_time=1.0, input_file="warm", n_reduces=0)
+        jt.submit_trace([spec])
+        jt.start_tasktrackers()
+        engine.run()
+        assert jt.finished
+
+    def test_locality_counts_cover_all_maps(self, stack):
+        engine, jt = stack
+        spec = JobSpec(job_id=0, submit_time=1.0, input_file="cold", n_reduces=0)
+        jt.submit_trace([spec])
+        jt.start_tasktrackers()
+        engine.run()
+        job = jt.jobs[0]
+        assert sum(job.locality_counts) == job.n_maps
+
+    def test_reduces_start_after_maps_finish(self, stack):
+        engine, jt = stack
+        spec = JobSpec(job_id=0, submit_time=1.0, input_file="hot", n_reduces=2)
+        jt.submit_trace([spec])
+        jt.start_tasktrackers()
+        engine.run()
+        job = jt.jobs[0]
+        last_map_finish = max(t.finish_time for t in job.maps)
+        first_reduce_start = min(t.start_time for t in job.reduces)
+        assert first_reduce_start >= last_map_finish
+
+    def test_multiple_jobs_fifo_completion(self, stack):
+        engine, jt = stack
+        specs = [
+            JobSpec(job_id=i, submit_time=1.0 + i * 0.1, input_file=f, n_reduces=0)
+            for i, f in enumerate(["hot", "warm", "cold"])
+        ]
+        jt.submit_trace(specs)
+        jt.start_tasktrackers()
+        engine.run()
+        assert jt.completed_jobs == 3
+
+    def test_contention_counters_return_to_zero(self, stack):
+        engine, jt = stack
+        specs = [
+            JobSpec(job_id=i, submit_time=1.0, input_file="cold", n_reduces=1)
+            for i in range(3)
+        ]
+        jt.submit_trace(specs)
+        jt.start_tasktrackers()
+        engine.run()
+        for node in jt.cluster.nodes:
+            assert node.active_net_transfers == 0
+            assert node.active_disk_reads == 0
+
+    def test_all_slots_free_at_end(self, stack):
+        engine, jt = stack
+        specs = [
+            JobSpec(job_id=i, submit_time=1.0, input_file="hot", n_reduces=1)
+            for i in range(4)
+        ]
+        jt.submit_trace(specs)
+        jt.start_tasktrackers()
+        engine.run()
+        for tt in jt.tasktrackers.values():
+            assert tt.free_map_slots == tt.node.map_slots
+            assert tt.free_reduce_slots == tt.node.reduce_slots
+
+
+class TestDareIntegration:
+    def test_remote_maps_trigger_replication(self, small_cluster, loaded_namenode):
+        engine = Engine()
+        streams = RandomStreams(17)
+        dare = DareReplicationService(
+            DareConfig.greedy_lru(budget=1.0), loaded_namenode, streams
+        )
+        tm = TaskTimeModel(small_cluster, loaded_namenode, streams.python("tm"))
+        jt = JobTracker(small_cluster, loaded_namenode, engine, FifoScheduler(), tm, dare)
+        specs = [
+            JobSpec(job_id=i, submit_time=1.0 + i * 15.0, input_file="hot", n_reduces=0)
+            for i in range(6)
+        ]
+        jt.submit_trace(specs)
+        jt.start_tasktrackers()
+        engine.run()
+        assert dare.total_replications > 0
+        loaded_namenode.flush_all_heartbeats(engine.now)
+        loaded_namenode.check_integrity()
+        # every hot block should now have more than its 3 static replicas
+        for blk in loaded_namenode.file("hot").blocks:
+            assert loaded_namenode.replica_count(blk.block_id) >= 3

@@ -1,0 +1,67 @@
+"""Unit tests: compute-side hotspot analysis."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import MapRecord
+from repro.metrics.hotspots import HotspotSummary, load_timeline, summarize_hotspots
+
+
+def rec(node, start, duration, job=0):
+    return MapRecord(job, start, duration, 0, node)
+
+
+class TestLoadTimeline:
+    def test_single_task_steps_up_and_down(self):
+        times, loads = load_timeline([rec(1, 0.0, 10.0)], [1, 2])
+        assert list(times) == [0.0, 10.0]
+        assert list(loads[1]) == [1, 0]
+        assert list(loads[2]) == [0, 0]
+
+    def test_overlapping_tasks_stack(self):
+        records = [rec(1, 0.0, 10.0), rec(1, 5.0, 10.0)]
+        times, loads = load_timeline(records, [1])
+        # events at 0, 5, 10, 15
+        assert list(loads[1]) == [1, 2, 1, 0]
+
+    def test_nodes_tracked_independently(self):
+        records = [rec(1, 0.0, 4.0), rec(2, 1.0, 4.0)]
+        _, loads = load_timeline(records, [1, 2])
+        assert max(loads[1]) == 1
+        assert max(loads[2]) == 1
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            load_timeline([], [1])
+
+
+class TestSummary:
+    def test_balanced_load_has_low_imbalance(self):
+        records = [rec(n, 0.0, 10.0) for n in range(1, 5)]
+        s = summarize_hotspots(records, range(1, 5))
+        assert s.peak_node_load == 1
+        assert s.mean_imbalance == pytest.approx(1.0)
+        assert s.hotspot_time_fraction == 0.0
+
+    def test_single_hot_node_detected(self):
+        records = [rec(1, 0.0, 10.0) for _ in range(8)]  # all on node 1
+        s = summarize_hotspots(records, range(1, 5))
+        assert s.peak_node_load == 8
+        assert s.mean_imbalance > 3.0
+        assert s.hotspot_time_fraction > 0.5
+
+    def test_imbalance_between_extremes(self):
+        records = [rec(1, 0.0, 10.0), rec(1, 0.0, 10.0), rec(2, 0.0, 10.0)]
+        s = summarize_hotspots(records, [1, 2, 3])
+        # max 2, mean 1 -> imbalance 2 while tasks run
+        assert 1.5 < s.mean_imbalance <= 2.01
+
+    def test_real_run_produces_sane_summary(self, wl1_small):
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+        from tests.conftest import SMALL_SPEC
+
+        r = run_experiment(ExperimentConfig(cluster_spec=SMALL_SPEC), wl1_small)
+        s = summarize_hotspots(r.collector.map_records, range(1, 8))
+        assert 1 <= s.peak_node_load <= SMALL_SPEC.map_slots
+        assert s.mean_imbalance >= 1.0
+        assert 0.0 <= s.hotspot_time_fraction <= 1.0

@@ -1,0 +1,63 @@
+"""Unit tests: the slowdown metric and its dedicated-cluster wave model."""
+
+import math
+
+import pytest
+
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.runtime import TaskTimeModel
+from repro.metrics.collector import JobRecord
+from repro.metrics.slowdown import ideal_turnaround, mean_slowdown, slowdowns
+from repro.simulation.rng import RandomStreams
+
+
+@pytest.fixture
+def model(small_cluster, loaded_namenode):
+    return TaskTimeModel(small_cluster, loaded_namenode, RandomStreams(5).python("tm"))
+
+
+class TestIdealTurnaround:
+    def test_single_wave_job(self, small_cluster, model):
+        spec = JobSpec(0, 0.0, "f", map_cpu_s=4.0, n_reduces=0)
+        block = 128 * 1024 * 1024
+        ideal = ideal_turnaround(spec, 2 * block, 2, small_cluster, model)
+        expected = model.ideal_map_seconds(block, 4.0) + small_cluster.spec.heartbeat_s
+        assert ideal == pytest.approx(expected)
+
+    def test_waves_scale_with_map_count(self, small_cluster, model):
+        spec = JobSpec(0, 0.0, "f", map_cpu_s=4.0, n_reduces=0)
+        block = 128 * 1024 * 1024
+        slots = small_cluster.total_map_slots
+        one = ideal_turnaround(spec, slots * block, slots, small_cluster, model)
+        two = ideal_turnaround(spec, 2 * slots * block, 2 * slots, small_cluster, model)
+        assert two > one * 1.7
+
+    def test_reduces_add_time(self, small_cluster, model):
+        block = 128 * 1024 * 1024
+        no_red = JobSpec(0, 0.0, "f", n_reduces=0)
+        with_red = JobSpec(0, 0.0, "f", n_reduces=2)
+        a = ideal_turnaround(no_red, block, 1, small_cluster, model)
+        b = ideal_turnaround(with_red, block, 1, small_cluster, model)
+        assert b > a
+
+
+class TestSlowdowns:
+    def test_slowdown_ratio(self, small_cluster, model):
+        spec = JobSpec(7, 0.0, "f", map_cpu_s=4.0, n_reduces=0)
+        block = 128 * 1024 * 1024
+        ideal = ideal_turnaround(spec, block, 1, small_cluster, model)
+        rec = JobRecord(7, 0.0, 0.0, 3 * ideal, 1, 0, (1, 0, 0), block)
+        vals = slowdowns([rec], {7: spec}, small_cluster, model)
+        assert vals[0] == pytest.approx(3.0)
+
+    def test_mean_slowdown_empty_raises(self, small_cluster, model):
+        with pytest.raises(ValueError):
+            mean_slowdown([], {}, small_cluster, model)
+
+    def test_loaded_system_slowdown_above_one(self, small_cluster, model, wl1_small):
+        # integration sanity: a real run's slowdown is >= ~1
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+        from tests.conftest import SMALL_SPEC
+
+        r = run_experiment(ExperimentConfig(cluster_spec=SMALL_SPEC), wl1_small)
+        assert r.slowdown > 0.95

@@ -1,0 +1,46 @@
+"""Unit tests: the network-traffic meter."""
+
+import pytest
+
+from repro.metrics.traffic import TrafficMeter
+
+
+class TestTrafficMeter:
+    def test_starts_at_zero(self):
+        m = TrafficMeter()
+        assert m.total_bytes == 0
+        assert all(v == 0 for v in m.by_category.values())
+
+    def test_record_accumulates(self):
+        m = TrafficMeter()
+        m.record("shuffle", 100)
+        m.record("shuffle", 50)
+        assert m.bytes("shuffle") == 150
+        assert m.total_bytes == 150
+
+    def test_categories_are_independent(self):
+        m = TrafficMeter()
+        m.record("remote_map_reads", 10)
+        m.record("rebalancing", 20)
+        assert m.bytes("remote_map_reads") == 10
+        assert m.bytes("rebalancing") == 20
+        assert m.total_bytes == 30
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            TrafficMeter().record("carrier-pigeon", 1)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMeter().record("shuffle", -1)
+
+    def test_gigabytes(self):
+        m = TrafficMeter()
+        m.record("shuffle", 2 * 10**9)
+        assert m.gigabytes("shuffle") == pytest.approx(2.0)
+
+    def test_report_mentions_all_categories(self):
+        m = TrafficMeter()
+        text = m.report()
+        for c in TrafficMeter.CATEGORIES:
+            assert c in text

@@ -1,0 +1,66 @@
+"""Unit tests: multi-rack dedicated topology and oversubscription."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import CCT_SPEC, build_cluster
+from repro.cluster.network import CCT_NETWORK, NetworkModel
+from repro.cluster.topology import DEDICATED, Topology
+
+
+class TestDedicatedMultiRack:
+    def test_round_robin_striping(self):
+        topo = Topology(DEDICATED, 8, np.random.default_rng(0), dedicated_racks=2)
+        assert list(topo.rack_of) == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_hops_one_same_rack_two_cross(self):
+        topo = Topology(DEDICATED, 8, np.random.default_rng(0), dedicated_racks=2)
+        assert topo.hops(0, 2) == 1  # same rack
+        assert topo.hops(0, 1) == 2  # cross rack
+
+    def test_single_rack_default_unchanged(self):
+        topo = Topology(DEDICATED, 8, np.random.default_rng(0))
+        assert topo.n_racks == 1
+
+    def test_zero_racks_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(DEDICATED, 8, np.random.default_rng(0), dedicated_racks=0)
+
+
+class TestOversubscription:
+    def _model(self, factor, racks=2):
+        topo = Topology(DEDICATED, 10, np.random.default_rng(0), dedicated_racks=racks)
+        params = CCT_NETWORK._replace(cross_rack_factor=factor)
+        return NetworkModel(topo, params, np.random.default_rng(1))
+
+    def test_factor_one_is_neutral(self):
+        m = self._model(1.0)
+        same = m.bandwidth_mbps(0, 2)
+        cross = m.bandwidth_mbps(0, 1)
+        assert cross == pytest.approx(same, rel=0.05)
+
+    def test_cross_rack_bandwidth_divided(self):
+        m = self._model(4.0)
+        same = m.bandwidth_mbps(0, 2)
+        cross = m.bandwidth_mbps(0, 1)
+        assert cross == pytest.approx(same / 4.0, rel=0.05)
+
+    def test_same_rack_unaffected(self):
+        neutral = self._model(1.0).bandwidth_mbps(0, 2)
+        oversub = self._model(4.0).bandwidth_mbps(0, 2)
+        assert oversub == pytest.approx(neutral)
+
+    def test_cross_rack_transfers_slower(self):
+        m = self._model(4.0)
+        nbytes = 128 * 1024 * 1024
+        t_same = m.transfer_seconds(nbytes, 0, 2)
+        t_cross = m.transfer_seconds(nbytes, 0, 1)
+        assert t_cross > 3 * t_same
+
+    def test_spec_plumbs_through_cluster(self):
+        spec = CCT_SPEC._replace(
+            dedicated_racks=4,
+            network=CCT_NETWORK._replace(cross_rack_factor=3.0),
+        )
+        cluster = build_cluster(spec)
+        assert cluster.topology.n_racks == 4

@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.patterns import _smallest_window
+from repro.core.elephant_trap import ElephantTrapPolicy
+from repro.core.greedy import GreedyLRUPolicy
+from repro.hdfs.block import Block
+from repro.hdfs.inode import INode
+from repro.simulation.engine import Engine
+from repro.simulation.events import EventQueue
+from repro.simulation.rng import derive_seed
+from repro.workloads.popularity import access_cdf, zipf_weights
+
+BLOCK = 1024
+
+
+def make_blocks(n_files: int, blocks_per_file: int):
+    out = []
+    bid = 0
+    for f in range(n_files):
+        inode = INode(f, f"f{f}")
+        out.extend(inode.allocate_blocks(blocks_per_file * BLOCK, bid, BLOCK))
+        bid += blocks_per_file
+    return out
+
+
+# ---------------------------------------------------------------------------
+# event queue / engine
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=60))
+def test_event_queue_pops_in_nondecreasing_time_order(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        popped.append(ev.time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=40),
+    st.data(),
+)
+def test_cancelled_events_never_fire(times, data):
+    engine = Engine()
+    fired = []
+    events = [engine.schedule(t, lambda t=t: fired.append(t)) for t in times]
+    to_cancel = data.draw(
+        st.sets(st.integers(0, len(events) - 1), max_size=len(events))
+    )
+    for i in to_cancel:
+        engine.cancel(events[i])
+    engine.run()
+    expected = sorted(t for i, t in enumerate(times) if i not in to_cancel)
+    assert fired == expected
+
+
+# ---------------------------------------------------------------------------
+# rng
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 2**31), st.text(max_size=40))
+def test_derive_seed_in_63_bit_range(root, name):
+    s = derive_seed(root, name)
+    assert 0 <= s < 2**63
+
+
+# ---------------------------------------------------------------------------
+# ElephantTrap ring invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def trap_operations(draw):
+    """A random sequence of add/remove/access/evict operations."""
+    n_ops = draw(st.integers(1, 80))
+    ops = []
+    for _ in range(n_ops):
+        ops.append(
+            (
+                draw(st.sampled_from(["add", "remove", "access", "evict"])),
+                draw(st.integers(0, 19)),  # block index in a 20-block pool
+            )
+        )
+    return ops
+
+
+@given(trap_operations(), st.integers(1, 5), st.integers(0, 10_000))
+@settings(max_examples=150, deadline=None)
+def test_elephant_trap_ring_and_counts_stay_consistent(ops, threshold, seed):
+    blocks = make_blocks(5, 4)  # 5 files x 4 blocks
+    evicting_pool = make_blocks(3, 2)
+    et = ElephantTrapPolicy(1.0, threshold, random.Random(seed))
+    tracked = set()
+    for op, idx in ops:
+        block = blocks[idx]
+        if op == "add" and block.block_id not in tracked:
+            et.add(block)
+            tracked.add(block.block_id)
+        elif op == "remove":
+            et.remove(block.block_id)
+            tracked.discard(block.block_id)
+        elif op == "access":
+            et.on_local_access(block)
+        elif op == "evict":
+            victim = et.pick_victim(evicting_pool[idx % len(evicting_pool)])
+            if victim is not None:
+                et.remove(victim.block_id)
+                tracked.discard(victim.block_id)
+        # invariants after every operation:
+        ring_ids = {b.block_id for b in et.ring_blocks()}
+        assert ring_ids == tracked  # ring == tracked set
+        assert set(et._counts) == tracked  # counts aligned with ring
+        assert len(et._ring) == len(tracked)  # no duplicates in the ring
+        if tracked:
+            assert 0 <= et._ptr < len(et._ring)  # pointer always valid
+        assert all(et._counts[b] >= 0 for b in tracked)  # counts nonnegative
+
+
+@given(st.integers(0, 10_000), st.integers(1, 30))
+def test_elephant_trap_victim_is_never_same_file(seed, n_adds):
+    blocks = make_blocks(4, 8)
+    et = ElephantTrapPolicy(1.0, 1, random.Random(seed))
+    rng = random.Random(seed + 1)
+    added = set()
+    for _ in range(n_adds):
+        b = rng.choice(blocks)
+        if b.block_id not in added:
+            et.add(b)
+            added.add(b.block_id)
+    evicting = rng.choice(blocks)
+    victim = et.pick_victim(evicting)
+    if victim is not None:
+        assert victim.file_id != evicting.file_id
+
+
+# ---------------------------------------------------------------------------
+# greedy LRU
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(0, 11), min_size=1, max_size=60), st.integers(0, 3))
+def test_lru_victim_is_oldest_unaccessed_other_file(accesses, evicting_file):
+    blocks = make_blocks(4, 3)
+    lru = GreedyLRUPolicy()
+    order = []  # reference model: list in LRU->MRU order
+    for idx in accesses:
+        b = blocks[idx]
+        if b.block_id not in lru:
+            lru.add(b)
+            order.append(b.block_id)
+        else:
+            lru.on_local_access(b)
+            order.remove(b.block_id)
+            order.append(b.block_id)
+    evicting = blocks[evicting_file * 3]
+    victim = lru.pick_victim(evicting)
+    by_id = {b.block_id: b for b in blocks}
+    expected = next(
+        (bid for bid in order if by_id[bid].file_id != evicting.file_id), None
+    )
+    assert (victim.block_id if victim else None) == expected
+
+
+# ---------------------------------------------------------------------------
+# window search
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(0, 9), min_size=2, max_size=48).filter(lambda h: sum(h) > 0),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+def test_smallest_window_matches_bruteforce(hist, fraction):
+    hist = np.asarray(hist)
+    target = fraction * hist.sum()
+    brute = next(
+        w
+        for w in range(1, len(hist) + 1)
+        if max(hist[i:i + w].sum() for i in range(len(hist) - w + 1)) >= target
+    )
+    assert _smallest_window(hist, fraction) == brute
+
+
+# ---------------------------------------------------------------------------
+# popularity weights
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(1, 500), st.floats(min_value=0.0, max_value=3.0))
+def test_zipf_weights_normalized_and_monotone(n, s):
+    w = zipf_weights(n, s)
+    assert abs(w.sum() - 1.0) < 1e-9
+    assert (np.diff(w) <= 1e-12).all()
+    cdf = access_cdf(w)
+    assert abs(cdf[-1] - 1.0) < 1e-9
+    assert (np.diff(cdf) >= -1e-12).all()
+
+
+# ---------------------------------------------------------------------------
+# INode block allocation
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(1, 10**6), st.integers(256, 2**20))
+@settings(max_examples=80)
+def test_inode_allocation_partitions_bytes_exactly(size, block_size):
+    inode = INode(0, "f")
+    blocks = inode.allocate_blocks(size, 0, block_size)
+    assert sum(b.size_bytes for b in blocks) == size
+    assert all(b.size_bytes <= block_size for b in blocks)
+    assert all(b.size_bytes > 0 for b in blocks)
+    # only the last block may be partial
+    assert all(b.size_bytes == block_size for b in blocks[:-1])

@@ -1,0 +1,90 @@
+"""Unit tests: event objects and the event queue."""
+
+import pytest
+
+from repro.simulation.events import Event, EventQueue
+
+
+def _noop():
+    pass
+
+
+class TestEventOrdering:
+    def test_earlier_time_sorts_first(self):
+        a = Event(1.0, 5, _noop)
+        b = Event(2.0, 1, _noop)
+        assert a < b
+
+    def test_ties_break_by_sequence(self):
+        a = Event(1.0, 1, _noop)
+        b = Event(1.0, 2, _noop)
+        assert a < b
+        assert not (b < a)
+
+    def test_repr_mentions_label(self):
+        ev = Event(1.0, 0, _noop, "my-label")
+        assert "my-label" in repr(ev)
+
+
+class TestEventQueue:
+    def test_push_pop_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, _noop, "c")
+        q.push(1.0, _noop, "a")
+        q.push(2.0, _noop, "b")
+        labels = [q.pop().label for _ in range(3)]
+        assert labels == ["a", "b", "c"]
+
+    def test_fifo_order_for_simultaneous_events(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(1.0, _noop, f"e{i}")
+        assert [q.pop().label for _ in range(5)] == [f"e{i}" for i in range(5)]
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        ev = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert len(q) == 2
+        q.cancel(ev)
+        assert len(q) == 1
+
+    def test_pop_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, _noop, "cancelled")
+        q.push(2.0, _noop, "live")
+        q.cancel(ev)
+        assert q.pop().label == "live"
+        assert q.pop() is None
+
+    def test_double_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = q.push(1.0, _noop)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, _noop)
+        q.push(5.0, _noop)
+        q.cancel(ev)
+        assert q.peek_time() == 5.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        ev = q.push(1.0, _noop)
+        assert q
+        q.cancel(ev)
+        assert not q
+
+    def test_clear_empties_queue(self):
+        q = EventQueue()
+        q.push(1.0, _noop)
+        q.clear()
+        assert q.pop() is None
+        assert len(q) == 0

@@ -1,0 +1,159 @@
+"""Unit/integration tests: speculative execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DareConfig
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.mapreduce.job import Job, JobSpec
+from repro.mapreduce.speculation import SpeculationPolicy
+from repro.mapreduce.task import TaskState
+from repro.workloads.swim import synthesize_wl1
+from tests.conftest import SMALL_SPEC
+
+
+class TestPolicyValidation:
+    def test_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            SpeculationPolicy(slowdown_factor=1.0)
+
+    def test_min_completed_positive(self):
+        with pytest.raises(ValueError):
+            SpeculationPolicy(min_completed=0)
+
+
+class TestCandidateSelection:
+    @pytest.fixture
+    def job(self, loaded_namenode):
+        return Job(JobSpec(0, 0.0, "cold"), loaded_namenode.file("cold"))
+
+    def _finish(self, task, start, end):
+        task.state = TaskState.DONE
+        task.start_time = start
+        task.finish_time = end
+
+    def test_no_candidate_without_enough_completions(self, job):
+        policy = SpeculationPolicy(min_completed=3)
+        self._finish(job.maps[0], 0.0, 10.0)
+        job.maps[1].state = TaskState.RUNNING
+        job.maps[1].start_time = 0.0
+        job.maps[1].node_id = 1
+        assert policy.pick_candidate([job], 100.0, 2, lambda t: False) is None
+
+    def test_straggler_detected(self, job):
+        policy = SpeculationPolicy(slowdown_factor=1.5, min_completed=3)
+        for t in job.maps[:3]:
+            self._finish(t, 0.0, 10.0)
+        straggler = job.maps[3]
+        straggler.state = TaskState.RUNNING
+        straggler.start_time = 0.0
+        straggler.node_id = 1
+        # mean 10s, threshold 15s: at t=20 the task is a straggler
+        found = policy.pick_candidate([job], 20.0, 2, lambda t: False)
+        assert found is straggler
+
+    def test_task_within_threshold_not_picked(self, job):
+        policy = SpeculationPolicy(slowdown_factor=1.5, min_completed=3)
+        for t in job.maps[:3]:
+            self._finish(t, 0.0, 10.0)
+        job.maps[3].state = TaskState.RUNNING
+        job.maps[3].start_time = 0.0
+        job.maps[3].node_id = 1
+        assert policy.pick_candidate([job], 12.0, 2, lambda t: False) is None
+
+    def test_already_duplicated_task_skipped(self, job):
+        policy = SpeculationPolicy(min_completed=3)
+        for t in job.maps[:3]:
+            self._finish(t, 0.0, 10.0)
+        job.maps[3].state = TaskState.RUNNING
+        job.maps[3].start_time = 0.0
+        job.maps[3].node_id = 1
+        assert policy.pick_candidate([job], 50.0, 2, lambda t: True) is None
+
+    def test_own_node_not_offered(self, job):
+        policy = SpeculationPolicy(min_completed=3)
+        for t in job.maps[:3]:
+            self._finish(t, 0.0, 10.0)
+        job.maps[3].state = TaskState.RUNNING
+        job.maps[3].start_time = 0.0
+        job.maps[3].node_id = 7
+        assert policy.pick_candidate([job], 50.0, 7, lambda t: False) is None
+
+    def test_slowest_straggler_preferred(self, job):
+        policy = SpeculationPolicy(min_completed=3)
+        for t in job.maps[:3]:
+            self._finish(t, 0.0, 10.0)
+        a, b = job.maps[3], job.maps[4]
+        for t, start in ((a, 10.0), (b, 0.0)):
+            t.state = TaskState.RUNNING
+            t.start_time = start
+            t.node_id = 1
+        assert policy.pick_candidate([job], 60.0, 2, lambda t: False) is b
+
+
+class TestSpeculativeRuns:
+    @pytest.fixture(scope="class")
+    def stall_spec(self):
+        # crank the stall model so stragglers are guaranteed at test scale
+        return SMALL_SPEC._replace(
+            cpu_jitter_sigma=0.2, cpu_stall_prob=0.15, cpu_stall_range=(4.0, 10.0)
+        )
+
+    @pytest.fixture(scope="class")
+    def wl(self):
+        return synthesize_wl1(np.random.default_rng(7), n_jobs=80)
+
+    def test_run_completes_with_speculation(self, stall_spec, wl):
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=stall_spec, speculative=True), wl
+        )
+        assert r.n_jobs == wl.n_jobs
+        assert r.speculative_launched > 0
+
+    def test_some_duplicates_win(self, stall_spec, wl):
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=stall_spec, speculative=True), wl
+        )
+        assert r.speculative_won > 0
+        assert r.speculative_won <= r.speculative_launched
+
+    def test_wasted_counts_every_killed_attempt(self, stall_spec, wl):
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=stall_spec, speculative=True), wl
+        )
+        # every launched duplicate ends a race killing exactly one attempt
+        assert r.speculative_wasted == r.speculative_launched
+
+    def test_map_records_still_one_per_task(self, stall_spec, wl):
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=stall_spec, speculative=True), wl
+        )
+        assert len(r.collector.map_records) == wl.total_map_tasks()
+
+    def test_slots_and_counters_clean_at_end(self, stall_spec, wl):
+        r = run_experiment(
+            ExperimentConfig(cluster_spec=stall_spec, speculative=True), wl
+        )
+        # contention counters roll back exactly even with killed attempts
+        # (run_experiment would have tripped asserts otherwise); verify via
+        # a second identical run being deterministic
+        r2 = run_experiment(
+            ExperimentConfig(cluster_spec=stall_spec, speculative=True), wl
+        )
+        assert r.gmtt_s == r2.gmtt_s
+
+    def test_speculation_off_by_default(self, stall_spec, wl):
+        r = run_experiment(ExperimentConfig(cluster_spec=stall_spec), wl)
+        assert r.speculative_launched == 0
+
+    def test_speculation_composes_with_dare(self, stall_spec, wl):
+        r = run_experiment(
+            ExperimentConfig(
+                cluster_spec=stall_spec,
+                speculative=True,
+                dare=DareConfig.elephant_trap(),
+            ),
+            wl,
+        )
+        assert r.n_jobs == wl.n_jobs
+        assert r.blocks_created > 0

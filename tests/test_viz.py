@@ -1,0 +1,113 @@
+"""Unit tests: the SVG chart layer and figure renderers."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.viz.svg import SvgCanvas, bar_chart, grouped_bar_chart, line_chart
+
+
+def well_formed(svg: str) -> bool:
+    xml.dom.minidom.parseString(svg)
+    return True
+
+
+class TestCanvas:
+    def test_px_py_linear_mapping(self):
+        c = SvgCanvas(width=200, height=200, margin=(0, 0, 0, 0))
+        c.set_ranges((0, 10), (0, 10))
+        assert c.px(0) == 0
+        assert c.px(10) == 200
+        assert c.py(0) == 200  # SVG y is flipped
+        assert c.py(10) == 0
+
+    def test_log_mapping(self):
+        c = SvgCanvas(width=100, height=100, margin=(0, 0, 0, 0))
+        c.set_ranges((1, 100), (1, 100), xlog=True)
+        assert c.px(10) == pytest.approx(50)
+
+    def test_log_range_must_be_positive(self):
+        c = SvgCanvas()
+        with pytest.raises(ValueError):
+            c.set_ranges((0, 10), (1, 10), xlog=True)
+
+    def test_degenerate_range_rejected(self):
+        c = SvgCanvas()
+        with pytest.raises(ValueError):
+            c.set_ranges((5, 5), (0, 1))
+
+    def test_render_is_well_formed(self):
+        c = SvgCanvas(title="t")
+        c.set_ranges((0, 1), (0, 1))
+        c.axes("x", "y")
+        c.polyline([(0, 0), (1, 1)], "#123456")
+        c.text(10, 10, "hello & <goodbye>")  # must be escaped
+        svg = c.render()
+        assert well_formed(svg)
+        assert "hello &amp;" in svg
+
+
+class TestCharts:
+    def test_line_chart(self):
+        svg = line_chart([("a", [(0, 1), (1, 2)]), ("b", [(0, 2), (1, 1)])],
+                         title="T", xlabel="x", ylabel="y")
+        assert well_formed(svg)
+        assert "polyline" in svg
+        assert "T" in svg
+
+    def test_line_chart_log_axes(self):
+        svg = line_chart([("s", [(1, 1), (10, 100), (100, 10000)])],
+                         xlog=True, ylog=True)
+        assert well_formed(svg)
+
+    def test_line_chart_flat_series_ok(self):
+        assert well_formed(line_chart([("s", [(0, 5), (1, 5)])]))
+
+    def test_line_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+
+    def test_bar_chart(self):
+        svg = bar_chart(["a", "b", "c"], [1.0, 2.0, 0.5], ylabel="v")
+        assert well_formed(svg)
+        assert svg.count("<rect") >= 4  # 3 bars + background
+
+    def test_bar_chart_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_grouped_bar_chart(self):
+        svg = grouped_bar_chart(
+            ["g1", "g2"], [("s1", [1, 2]), ("s2", [2, 1])], title="G"
+        )
+        assert well_formed(svg)
+        assert svg.count("<rect") >= 5  # 4 bars + background + legend
+
+    def test_grouped_bar_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["g1", "g2"], [("s1", [1])])
+
+
+class TestPaperFigures:
+    def test_section3_figures_render(self):
+        from repro.viz.paper_figures import fig1_svg, fig2_svg, fig3_svg, fig4_svg, fig5_svg
+
+        for fn in (fig1_svg, fig2_svg, fig3_svg, fig4_svg, fig5_svg):
+            assert well_formed(fn(seed=3))
+
+    def test_cluster_figures_render_small(self):
+        from repro.viz.paper_figures import fig6_svg, fig7_svgs, fig11_svg
+
+        assert well_formed(fig6_svg(n_jobs=40))
+        for svg in fig7_svgs(n_jobs=40).values():
+            assert well_formed(svg)
+        assert well_formed(fig11_svg(n_jobs=40))
+
+    def test_render_all_writes_files(self, tmp_path):
+        from repro.viz.paper_figures import render_all
+
+        paths = render_all(tmp_path, n_jobs=30)
+        assert len(paths) > 15
+        for path in paths:
+            assert path.suffix == ".svg"
+            assert well_formed(path.read_text())

@@ -1,0 +1,83 @@
+"""Unit/integration tests: the rotating-hot-set diurnal workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DareConfig
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.workloads.diurnal import (
+    DiurnalParams,
+    per_day_locality,
+    synthesize_diurnal,
+)
+from tests.conftest import SMALL_SPEC
+
+
+@pytest.fixture(scope="module")
+def params():
+    return DiurnalParams(n_days=3, jobs_per_day=60, day_length_s=300.0)
+
+
+@pytest.fixture(scope="module")
+def wl(params):
+    return synthesize_diurnal(np.random.default_rng(5), params)
+
+
+class TestGeneration:
+    def test_job_count(self, wl, params):
+        assert wl.n_jobs == params.n_days * params.jobs_per_day
+
+    def test_arrivals_ordered_within_horizon(self, wl, params):
+        times = [s.submit_time for s in wl.specs]
+        assert times == sorted(times)
+        assert times[-1] < params.n_days * params.day_length_s
+
+    def test_hot_group_rotates(self, wl, params):
+        # the day's hot group should dominate that day's accesses
+        for day in range(params.n_days):
+            hot = f"g{day % params.n_groups}_"
+            day_specs = wl.specs[
+                day * params.jobs_per_day:(day + 1) * params.jobs_per_day
+            ]
+            hot_jobs = sum(1 for s in day_specs if s.input_file.startswith(hot))
+            assert hot_jobs > 0.45 * len(day_specs)
+
+    def test_catalog_covers_all_groups(self, wl, params):
+        groups = {f.name.split("_")[0] for f in wl.catalog.files}
+        assert groups == {f"g{g}" for g in range(params.n_groups)}
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"n_days": 0},
+            {"hot_fraction": 1.5},
+            {"day_length_s": 0.0},
+            {"files_per_group": 0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kw):
+        with pytest.raises(ValueError):
+            DiurnalParams()._replace(**kw).validate()
+
+
+class TestAdaptation:
+    def test_dare_sustains_locality_across_rotations(self, wl, params):
+        van = run_experiment(ExperimentConfig(cluster_spec=SMALL_SPEC), wl)
+        dare = run_experiment(
+            ExperimentConfig(
+                cluster_spec=SMALL_SPEC,
+                dare=DareConfig.elephant_trap(p=0.5, budget=0.3),
+            ),
+            wl,
+        )
+        van_days = per_day_locality(van, params)
+        dare_days = per_day_locality(dare, params)
+        assert len(dare_days) == params.n_days
+        # DARE beats vanilla on every day, including after each rotation
+        for v, d in zip(van_days, dare_days):
+            assert d > v
+
+    def test_per_day_locality_partitions_jobs(self, wl, params):
+        r = run_experiment(ExperimentConfig(cluster_spec=SMALL_SPEC), wl)
+        days = per_day_locality(r, params)
+        assert all(0.0 <= d <= 1.0 for d in days)

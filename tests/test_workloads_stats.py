@@ -1,0 +1,68 @@
+"""Unit tests: workload statistics."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.job import JobSpec
+from repro.workloads.catalog import FileCatalog, FileSpec
+from repro.workloads.stats import WorkloadStats, _gini, compute_stats
+from repro.workloads.swim import Workload, synthesize_wl1, synthesize_wl2
+
+
+@pytest.fixture(scope="module")
+def wl1():
+    return synthesize_wl1(np.random.default_rng(7), n_jobs=200)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert _gini(np.ones(50)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_near_one(self):
+        v = np.zeros(100)
+        v[0] = 100.0
+        assert _gini(v) > 0.9
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            _gini(np.zeros(5))
+
+
+class TestComputeStats:
+    def test_counts_consistent(self, wl1):
+        stats = compute_stats(wl1)
+        assert stats.n_jobs == wl1.n_jobs
+        assert stats.total_map_tasks == wl1.total_map_tasks()
+        assert stats.dataset_blocks == wl1.catalog.total_blocks
+
+    def test_wl1_shape_properties(self, wl1):
+        stats = compute_stats(wl1)
+        # calibrated shape: tiny jobs, bursty arrivals, heavy skew
+        assert stats.small_job_fraction > 0.9
+        assert stats.burstiness > 2.0  # much burstier than Poisson
+        assert stats.top10_access_share > 0.7
+        assert 0.5 < stats.gini < 1.0
+
+    def test_wl2_larger_jobs_than_wl1(self, wl1):
+        wl2 = synthesize_wl2(np.random.default_rng(7), n_jobs=200)
+        s1, s2 = compute_stats(wl1), compute_stats(wl2)
+        assert s2.maps_max > s1.maps_p90
+        assert s2.input_gb > s1.input_gb
+
+    def test_volumes_positive_and_ordered(self, wl1):
+        stats = compute_stats(wl1)
+        assert stats.input_gb > stats.shuffle_gb > 0
+        assert stats.output_gb > 0
+
+    def test_single_job_degenerate_gaps(self):
+        catalog = FileCatalog([FileSpec("a", 2, "small")])
+        wl = Workload("one", catalog, [JobSpec(0, 5.0, "a")])
+        stats = compute_stats(wl)
+        assert stats.interarrival_mean_s == 0.0
+        assert stats.span_s == 0.0
+
+    def test_report_mentions_key_numbers(self, wl1):
+        text = compute_stats(wl1).report()
+        assert "maps/job" in text
+        assert "popularity" in text
+        assert "volumes" in text
