@@ -139,9 +139,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         scarlett=scarlett,
         failures=_parse_failures(args.fail),
+        trace_path=args.trace,
+        check_invariants=args.check_invariants,
     )
     result = run_experiment(config, workload)
     print(result.summary_row())
+    if args.trace:
+        print(f"  trace written:    {args.trace}")
+    if args.check_invariants:
+        print(f"  invariants:       ok ({result.trace_records_checked} records, "
+              f"{result.invariant_sweeps} full sweeps)")
     print(f"  cluster locality: {result.locality.locality:.3f} "
           f"({result.locality.node_local}/{result.locality.total} map tasks)")
     print(f"  mean map time:    {result.mean_map_s:.2f}s")
@@ -255,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scarlett-epoch", type=float, default=600.0)
     p.add_argument("--fail", action="append", default=[],
                    metavar="TIME:NODE", help="inject a node failure")
+    p.add_argument("--trace", default="", metavar="PATH",
+                   help="write a JSONL trace of the run to PATH")
+    p.add_argument("--check-invariants", action="store_true",
+                   help="validate cross-component invariants at every "
+                        "traced event (aborts on the first violation)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("synth", help="synthesize, inspect, and save a workload")

@@ -19,6 +19,7 @@ from repro.core.elephant_trap import ElephantTrapPolicy
 from repro.core.greedy import GreedyLFUPolicy, GreedyLRUPolicy
 from repro.hdfs.block import Block
 from repro.hdfs.namenode import NameNode
+from repro.observability.trace import NULL_TRACER, REPLICATION_ABANDONED, Tracer
 from repro.simulation.rng import RandomStreams
 
 
@@ -61,10 +62,12 @@ class DareReplicationService:
         config: DareConfig,
         namenode: NameNode,
         streams: RandomStreams,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         config.validate()
         self.config = config
         self.namenode = namenode
+        self.tracer = tracer
         self.states: Dict[int, NodeReplicaState] = {}
         if config.enabled:
             budget = ReplicationBudget(config.budget)
@@ -114,6 +117,14 @@ class DareReplicationService:
             if victim is None:
                 # couldn't find a block to evict; will not replicate
                 state.abandoned += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        REPLICATION_ABANDONED,
+                        now,
+                        node=state.node_id,
+                        block=block.block_id,
+                        file=block.inode.name,
+                    )
                 return False
             state.policy.remove(victim.block_id)
             dn.mark_for_deletion(victim.block_id, now)

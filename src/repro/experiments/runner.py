@@ -23,6 +23,8 @@ from repro.metrics.locality import LocalityStats, cluster_locality, mean_job_loc
 from repro.metrics.placement import coefficient_of_variation, popularity_indices
 from repro.metrics.slowdown import mean_slowdown
 from repro.metrics.turnaround import geometric_mean_turnaround
+from repro.observability.invariants import InvariantChecker
+from repro.observability.trace import NULL_TRACER, JsonlSink, Tracer
 from repro.scheduling.base import Scheduler
 from repro.scheduling.fair import FairScheduler, SkipCountFairScheduler
 from repro.scheduling.fifo import FifoScheduler
@@ -65,6 +67,12 @@ class ExperimentConfig:
     failure_detection_s: float = 10.0
     #: enable Hadoop-style speculative execution of straggler maps
     speculative: bool = False
+    #: write a JSONL trace of the run to this path (empty = no trace file)
+    trace_path: str = ""
+    #: arm the runtime invariant checker on the trace bus
+    check_invariants: bool = False
+    #: how many trace records between full cross-component sweeps
+    invariant_sweep_every: int = 2000
 
     def label(self) -> str:
         """Readable cell label for reports."""
@@ -118,6 +126,9 @@ class ExperimentResult:
     speculative_launched: int = 0
     speculative_wasted: int = 0
     speculative_won: int = 0
+    #: observability activity (zero when tracing/checking disabled)
+    trace_records_checked: int = 0
+    invariant_sweeps: int = 0
     #: raw per-task / per-job records for deeper analysis
     collector: MetricsCollector = field(repr=False, default=None)
 
@@ -134,17 +145,33 @@ def run_experiment(
     config: ExperimentConfig,
     workload: Workload,
     collector: Optional[MetricsCollector] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ExperimentResult:
     """Replay ``workload`` under ``config`` and measure everything.
 
     Deterministic: the same (config, workload) pair always produces the
     same result.  The cluster, HDFS placement, and DARE coin streams are
     all derived from ``config.seed``.
+
+    Observability: pass a :class:`Tracer` (or set ``config.trace_path`` /
+    ``config.check_invariants``) to record structured events and validate
+    cross-component invariants while the simulation runs.  An
+    :class:`~repro.observability.invariants.InvariantViolation` aborts the
+    run at the offending event.
     """
+    if tracer is None:
+        tracer = (
+            Tracer()
+            if (config.trace_path or config.check_invariants)
+            else NULL_TRACER
+        )
+    if config.trace_path:
+        tracer.add_sink(JsonlSink(config.trace_path))
+
     streams = RandomStreams(config.seed)
     cluster = Cluster(config.cluster_spec, streams)
-    engine = Engine()
-    namenode = NameNode(cluster)
+    engine = Engine(tracer=tracer)
+    namenode = NameNode(cluster, tracer=tracer)
 
     # load the data set (static replicas via the default placement policy)
     for fspec in workload.catalog.files:
@@ -155,7 +182,7 @@ def run_experiment(
     access_counts = dict(workload.access_counts())
     cv_before = coefficient_of_variation(popularity_indices(namenode, access_counts))
 
-    dare = DareReplicationService(config.dare, namenode, streams)
+    dare = DareReplicationService(config.dare, namenode, streams, tracer=tracer)
     scheduler = make_scheduler(config.scheduler)
     time_model = TaskTimeModel(cluster, namenode, streams.python("runtime.sources"))
     collector = collector or MetricsCollector()
@@ -167,10 +194,19 @@ def run_experiment(
         speculation = SpeculationPolicy()
     jobtracker = JobTracker(
         cluster, namenode, engine, scheduler, time_model, dare, collector, traffic,
-        speculation=speculation,
+        speculation=speculation, tracer=tracer,
     )
     jobtracker.start_tasktrackers()
     jobtracker.submit_trace(workload.specs)
+
+    checker = None
+    if config.check_invariants:
+        checker = InvariantChecker(
+            namenode,
+            dare=dare,
+            jobtracker=jobtracker,
+            full_sweep_every=config.invariant_sweep_every,
+        ).attach(tracer)
 
     scarlett = None
     if config.scarlett is not None:
@@ -210,20 +246,26 @@ def run_experiment(
             jobtracker,
             repair,
             detection_delay_s=config.failure_detection_s,
+            tracer=tracer,
         )
         injector.arm()
 
-    engine.run()
+    try:
+        engine.run()
 
-    if not jobtracker.finished:
-        raise RuntimeError(
-            f"simulation drained with {jobtracker.completed_jobs}/"
-            f"{jobtracker.expected_jobs} jobs complete"
-        )
+        if not jobtracker.finished:
+            raise RuntimeError(
+                f"simulation drained with {jobtracker.completed_jobs}/"
+                f"{jobtracker.expected_jobs} jobs complete"
+            )
 
-    # settle the control plane so the final placement view is complete
-    namenode.flush_all_heartbeats(engine.now)
-    namenode.check_integrity()
+        # settle the control plane so the final placement view is complete
+        namenode.flush_all_heartbeats(engine.now)
+        namenode.check_integrity()
+        if checker is not None:
+            checker.check_now()
+    finally:
+        tracer.close()
 
 
     cv_after = coefficient_of_variation(popularity_indices(namenode, access_counts))
@@ -254,5 +296,7 @@ def run_experiment(
         speculative_launched=jobtracker.speculative_launched,
         speculative_wasted=jobtracker.speculative_wasted,
         speculative_won=jobtracker.speculative_won,
+        trace_records_checked=checker.records_seen if checker else 0,
+        invariant_sweeps=checker.sweeps_run if checker else 0,
         collector=collector,
     )

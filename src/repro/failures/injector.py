@@ -4,6 +4,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.observability.trace import (
+    FAILURE_DETECTED,
+    FAILURE_INJECTED,
+    NULL_TRACER,
+    Tracer,
+)
 from repro.simulation.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,9 +68,11 @@ class FailureInjector:
         jobtracker: "JobTracker",
         repair: Optional["ReReplicationService"] = None,
         detection_delay_s: float = 10.0,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if detection_delay_s < 0:
             raise ValueError("detection delay must be nonnegative")
+        self.tracer = tracer
         self.plan = plan.validate(len(namenode.cluster.nodes))
         self.engine = engine
         self.namenode = namenode
@@ -92,7 +100,11 @@ class FailureInjector:
             return
         node.alive = False
         self.failed_nodes.append(node_id)
-        self.jobtracker.requeue_tasks_from(node_id)
+        requeued = self.jobtracker.requeue_tasks_from(node_id)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FAILURE_INJECTED, self.engine.now, node=node_id, requeued=requeued
+            )
         self.engine.schedule_in(
             self.detection_delay_s,
             lambda: self._detect(node_id),
@@ -105,6 +117,14 @@ class FailureInjector:
             self.lost_replicas[bid] = remaining
             if remaining == 0:
                 self.data_loss_blocks.append(bid)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                FAILURE_DETECTED,
+                self.engine.now,
+                node=node_id,
+                blocks_lost=len(lost),
+                data_loss=sum(1 for r in lost.values() if r == 0),
+            )
         if self.repair is not None:
             self.repair.enqueue_repairs(lost)
 

@@ -7,6 +7,14 @@ from typing import Dict, List, Optional, Set
 from repro.cluster.node import Node
 from repro.hdfs.block import Block
 from repro.hdfs.protocol import DatanodeCommand
+from repro.observability.trace import (
+    BLOCK_EVICTED,
+    BLOCK_REPLICATED,
+    BUDGET_CHARGE,
+    BUDGET_REFUND,
+    NULL_TRACER,
+    Tracer,
+)
 
 
 class DataNode:
@@ -33,9 +41,15 @@ class DataNode:
         "disk_writes",
         "blocks_replicated",
         "blocks_evicted",
+        "tracer",
     )
 
-    def __init__(self, node: Node, dynamic_capacity_bytes: int = 0) -> None:
+    def __init__(
+        self,
+        node: Node,
+        dynamic_capacity_bytes: int = 0,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
         self.node = node
         self.static_blocks: Dict[int, Block] = {}
         self.dynamic_blocks: Dict[int, Block] = {}
@@ -48,6 +62,7 @@ class DataNode:
         self.disk_writes = 0
         self.blocks_replicated = 0
         self.blocks_evicted = 0
+        self.tracer = tracer
 
     # -- queries -----------------------------------------------------------
 
@@ -111,6 +126,24 @@ class DataNode:
         self.disk_writes += 1
         self.blocks_replicated += 1
         self.outbox.append(DatanodeCommand.dynrepl(self.node_id, block.block_id, now))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                BUDGET_CHARGE,
+                now,
+                node=self.node_id,
+                block=block.block_id,
+                bytes=block.size_bytes,
+                used=self.dynamic_bytes_used,
+                capacity=self.dynamic_capacity_bytes,
+            )
+            self.tracer.emit(
+                BLOCK_REPLICATED,
+                now,
+                node=self.node_id,
+                block=block.block_id,
+                file=block.inode.name,
+                bytes=block.size_bytes,
+            )
 
     def mark_for_deletion(self, block_id: int, now: float) -> None:
         """Mark a dynamic replica for lazy deletion, freeing budget now.
@@ -129,6 +162,24 @@ class DataNode:
         self.dynamic_bytes_used -= block.size_bytes
         self.blocks_evicted += 1
         self.outbox.append(DatanodeCommand.invalidate(self.node_id, block_id, now))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                BUDGET_REFUND,
+                now,
+                node=self.node_id,
+                block=block_id,
+                bytes=block.size_bytes,
+                used=self.dynamic_bytes_used,
+                capacity=self.dynamic_capacity_bytes,
+            )
+            self.tracer.emit(
+                BLOCK_EVICTED,
+                now,
+                node=self.node_id,
+                block=block_id,
+                file=block.inode.name,
+                bytes=block.size_bytes,
+            )
 
     def complete_deletions(self) -> List[int]:
         """Physically drop lazily deleted blocks; returns their ids."""

@@ -11,6 +11,7 @@ from repro.hdfs.datanode import DataNode
 from repro.hdfs.inode import INode
 from repro.hdfs.placement import DefaultPlacementPolicy, PlacementPolicy
 from repro.hdfs.protocol import DNA_DYNREPL, DNA_INVALIDATE, DatanodeCommand
+from repro.observability.trace import HDFS_HEARTBEAT, NULL_TRACER, Tracer
 
 
 class NameNode:
@@ -30,14 +31,16 @@ class NameNode:
         cluster: Cluster,
         placement: Optional[PlacementPolicy] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.cluster = cluster
         self.block_size = block_size
+        self.tracer = tracer
         self.files: Dict[str, INode] = {}
         self.blocks: Dict[int, Block] = {}
         self._locations: Dict[int, Set[int]] = {}
         self.datanodes: Dict[int, DataNode] = {
-            n.node_id: DataNode(n) for n in cluster.slaves
+            n.node_id: DataNode(n, tracer=tracer) for n in cluster.slaves
         }
         self.placement: PlacementPolicy = placement or DefaultPlacementPolicy(
             cluster.slave_ids,
@@ -131,6 +134,10 @@ class NameNode:
         dn.complete_deletions()
         if cmds:
             self.command_log.extend(cmds)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                HDFS_HEARTBEAT, now, node=node_id, commands=len(cmds)
+            )
         return cmds
 
     def flush_all_heartbeats(self, now: float = 0.0) -> None:

@@ -13,6 +13,7 @@ from repro.mapreduce.speculation import SpeculationPolicy
 from repro.mapreduce.task import Locality, MapTask, ReduceTask, TaskState
 from repro.mapreduce.tasktracker import TaskTracker
 from repro.metrics.traffic import TrafficMeter
+from repro.observability.trace import NULL_TRACER, TASK_FINISHED, TASK_SCHEDULED, Tracer
 from repro.simulation.engine import Engine
 from repro.simulation.events import Event
 
@@ -74,10 +75,12 @@ class JobTracker:
         collector: Optional["MetricsCollector"] = None,
         traffic: Optional[TrafficMeter] = None,
         speculation: Optional[SpeculationPolicy] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.cluster = cluster
         self.namenode = namenode
         self.engine = engine
+        self.tracer = tracer
         self.scheduler = scheduler
         self.time_model = time_model
         self.dare = dare
@@ -253,6 +256,18 @@ class JobTracker:
             )
         )
         self._track(rt)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TASK_SCHEDULED,
+                now,
+                node=node_id,
+                job=spec.job_id,
+                task=task.index,
+                kind="map",
+                locality=locality.name,
+                data_local=data_local,
+                block=block.block_id,
+            )
 
     def _fallback_locality(self, node_id: int, block_id: int) -> Locality:
         topo = self.cluster.topology
@@ -310,6 +325,19 @@ class JobTracker:
         )
         self._track(rt)
         self.speculative_launched += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TASK_SCHEDULED,
+                now,
+                node=node_id,
+                job=spec.job_id,
+                task=task.index,
+                kind="map",
+                locality=locality.name,
+                data_local=data_local,
+                block=block.block_id,
+                speculative=True,
+            )
 
     def _attempt_complete(self, job: Job, task: MapTask, rt: _RunningTask) -> None:
         now = self.engine.now
@@ -334,6 +362,17 @@ class JobTracker:
             self.speculative_won += 1
         job.running_maps -= 1
         job.finished_maps += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TASK_FINISHED,
+                now,
+                node=rt.tt.node_id,
+                job=job.spec.job_id,
+                task=task.index,
+                kind="map",
+                locality=task.locality.name,
+                speculative=rt.speculative,
+            )
         if self.collector is not None:
             self.collector.on_map_complete(task)
         if job.done:
@@ -377,6 +416,15 @@ class JobTracker:
             )
         )
         self._track(rt)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TASK_SCHEDULED,
+                now,
+                node=node_id,
+                job=spec.job_id,
+                task=task.index,
+                kind="reduce",
+            )
 
     def _reduce_complete(
         self, job: Job, task: ReduceTask, tt: TaskTracker, rt: _RunningTask
@@ -391,6 +439,15 @@ class JobTracker:
         for cleanup in rt.cleanups:
             cleanup()
         rt.cleanups.clear()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TASK_FINISHED,
+                now,
+                node=tt.node_id,
+                job=job.spec.job_id,
+                task=task.index,
+                kind="reduce",
+            )
         if self.collector is not None:
             self.collector.on_reduce_complete(task)
         if job.done:

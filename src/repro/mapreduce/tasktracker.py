@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.cluster.node import Node
+from repro.observability.trace import HEARTBEAT
 from repro.simulation.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,6 +63,15 @@ class TaskTracker:
             return  # a dead TaskTracker stops heartbeating
         self.heartbeats_sent += 1
         self.jobtracker.heartbeat(self)
+        tracer = self.jobtracker.tracer
+        if tracer.enabled:
+            tracer.emit(
+                HEARTBEAT,
+                self.engine.now,
+                node=self.node_id,
+                free_map_slots=self.free_map_slots,
+                free_reduce_slots=self.free_reduce_slots,
+            )
         if not self.jobtracker.finished:
             self.engine.schedule_in(
                 self.interval_s, self._heartbeat, f"hb:{self.node.hostname}"

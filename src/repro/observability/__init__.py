@@ -1,0 +1,35 @@
+"""Simulation observability: structured tracing + runtime invariant checks.
+
+``trace`` is dependency-free and safe to import from any layer (components
+take a :class:`~repro.observability.trace.Tracer` defaulting to the disabled
+:data:`~repro.observability.trace.NULL_TRACER`).  ``invariants`` sits above
+the component layers and is imported lazily here to avoid cycles.
+"""
+
+from __future__ import annotations
+
+from repro.observability.trace import (
+    NULL_TRACER,
+    JsonlSink,
+    RingBufferSink,
+    TraceRecord,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "JsonlSink",
+    "RingBufferSink",
+    "TraceRecord",
+    "Tracer",
+    "InvariantChecker",
+    "InvariantViolation",
+]
+
+
+def __getattr__(name: str):
+    if name in ("InvariantChecker", "InvariantViolation"):
+        from repro.observability import invariants
+
+        return getattr(invariants, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

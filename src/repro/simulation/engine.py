@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.observability.trace import ENGINE_EVENT, NULL_TRACER, Tracer
 from repro.simulation.events import Event, EventQueue
 
 
@@ -29,9 +30,17 @@ class Engine:
     [5.0]
     """
 
-    __slots__ = ("now", "_queue", "_running", "_stopped", "events_processed", "max_events")
+    __slots__ = (
+        "now",
+        "_queue",
+        "_running",
+        "_stopped",
+        "events_processed",
+        "max_events",
+        "tracer",
+    )
 
-    def __init__(self, max_events: int = 200_000_000) -> None:
+    def __init__(self, max_events: int = 200_000_000, tracer: Tracer = NULL_TRACER) -> None:
         self.now: float = 0.0
         self._queue = EventQueue()
         self._running = False
@@ -39,6 +48,8 @@ class Engine:
         self.events_processed = 0
         #: hard safety limit against runaway simulations
         self.max_events = max_events
+        #: trace bus; per-callback records require ``tracer.engine_events``
+        self.tracer = tracer
 
     # -- scheduling ------------------------------------------------------
 
@@ -73,6 +84,8 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        # snapshot the firehose flag: one bool check per event, not three
+        trace_events = self.tracer.enabled and self.tracer.engine_events
         try:
             while self._queue and not self._stopped:
                 next_time = self._queue.peek_time()
@@ -88,6 +101,8 @@ class Engine:
                     raise SimulationError(
                         f"exceeded max_events={self.max_events}; runaway simulation?"
                     )
+                if trace_events:
+                    self.tracer.emit(ENGINE_EVENT, ev.time, label=ev.label, seq=ev.seq)
                 ev.action()
             if until is not None and not self._stopped and self.now < until:
                 self.now = until

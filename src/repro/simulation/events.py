@@ -28,9 +28,12 @@ class Event:
         Human-readable tag used in traces and error messages.
     cancelled:
         Lazily-cancelled events stay in the heap but are skipped when popped.
+    fired:
+        Set when the event is popped live; cancelling a fired event is a
+        no-op (it must not decrement the live count a second time).
     """
 
-    __slots__ = ("time", "seq", "action", "label", "cancelled")
+    __slots__ = ("time", "seq", "action", "label", "cancelled", "fired")
 
     def __init__(self, time: float, seq: int, action: Callable[[], None], label: str = ""):
         self.time = time
@@ -38,6 +41,7 @@ class Event:
         self.action = action
         self.label = label
         self.cancelled = False
+        self.fired = False
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it (lazy deletion)."""
@@ -79,8 +83,12 @@ class EventQueue:
         return ev
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (O(1), lazy)."""
-        if not event.cancelled:
+        """Cancel a previously scheduled event (O(1), lazy).
+
+        Cancelling an event that already fired — or was already cancelled —
+        is a no-op, so callers may cancel defensively.
+        """
+        if not event.cancelled and not event.fired:
             event.cancel()
             self._live -= 1
 
@@ -90,6 +98,7 @@ class EventQueue:
         while heap:
             ev = heapq.heappop(heap)
             if not ev.cancelled:
+                ev.fired = True
                 self._live -= 1
                 return ev
         return None

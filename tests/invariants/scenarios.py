@@ -1,0 +1,142 @@
+"""Randomized end-to-end scenario generation for the invariant harness.
+
+A :class:`Scenario` names one full-stack simulation cell — cluster, policy,
+scheduler, baseline, failures, workload — small enough to run in seconds
+with the :class:`~repro.observability.invariants.InvariantChecker` armed at
+every settled event (``invariant_sweep_every`` deliberately tiny).
+
+Two generators feed the tests:
+
+* :func:`named_scenarios` — a fixed grid guaranteeing coverage of greedy
+  LRU/LFU, ElephantTrap, the Scarlett baseline, failure injection, and all
+  three schedulers;
+* :func:`random_scenario` — seeded-random cells for the property sweep
+  (`INVARIANT_EXAMPLES` controls how many; hypothesis, when installed,
+  drives extra seeds through the same builder).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.scarlett import ScarlettConfig
+from repro.cluster.cluster import CCT_SPEC
+from repro.core.config import DareConfig, Policy
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.workloads.swim import Workload, synthesize_wl1, synthesize_wl2
+
+#: 1 master + 9 slaves: big enough for placement spread, small enough for CI
+SPEC = CCT_SPEC._replace(n_nodes=10)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible end-to-end cell."""
+
+    name: str
+    dare: DareConfig
+    scheduler: str = "fifo"
+    workload: str = "wl1"
+    n_jobs: int = 10
+    seed: int = 20110926
+    scarlett: bool = False
+    failures: Tuple[Tuple[float, int], ...] = ()
+
+    def to_config(self) -> ExperimentConfig:
+        return ExperimentConfig(
+            cluster_spec=SPEC,
+            scheduler=self.scheduler,
+            dare=self.dare,
+            seed=self.seed,
+            scarlett=ScarlettConfig(epoch_s=60.0) if self.scarlett else None,
+            failures=self.failures,
+            check_invariants=True,
+            invariant_sweep_every=50,
+        )
+
+    def build_workload(self) -> Workload:
+        rng = np.random.default_rng(self.seed)
+        synth = synthesize_wl1 if self.workload == "wl1" else synthesize_wl2
+        return synth(rng, n_jobs=self.n_jobs)
+
+
+def run_scenario(scenario: Scenario) -> ExperimentResult:
+    """Run one scenario with the checker armed; raises on any violation."""
+    return run_experiment(scenario.to_config(), scenario.build_workload())
+
+
+def named_scenarios() -> Tuple[Scenario, ...]:
+    """The fixed coverage grid (policy x scheduler x baseline x failures)."""
+    return (
+        Scenario("off-fifo", DareConfig.off()),
+        Scenario("lru-fifo", DareConfig.greedy_lru(budget=0.15)),
+        Scenario(
+            "lfu-fair",
+            DareConfig(policy=Policy.GREEDY_LFU, budget=0.1),
+            scheduler="fair",
+        ),
+        Scenario("et-fifo", DareConfig.elephant_trap(p=0.5, threshold=1)),
+        Scenario(
+            "et-fair-skip",
+            DareConfig.elephant_trap(p=1.0, threshold=2, budget=0.1),
+            scheduler="fair-skip",
+            workload="wl2",
+        ),
+        Scenario("off-scarlett", DareConfig.off(), scarlett=True, n_jobs=12),
+        Scenario("et-scarlett", DareConfig.elephant_trap(p=0.3), scarlett=True),
+        Scenario(
+            "lru-failures",
+            DareConfig.greedy_lru(budget=0.2),
+            failures=((25.0, 2), (70.0, 6)),
+            n_jobs=12,
+        ),
+        Scenario(
+            "et-failures-scarlett",
+            DareConfig.elephant_trap(p=0.7, threshold=1, budget=0.1),
+            scarlett=True,
+            failures=((40.0, 4),),
+            scheduler="fair",
+            n_jobs=12,
+        ),
+    )
+
+
+def random_scenario(seed: int) -> Scenario:
+    """Derive a pseudo-random scenario cell from ``seed``."""
+    rng = random.Random(seed)
+    policy = rng.choice(["off", "lru", "lfu", "et", "et"])
+    budget = rng.choice([0.05, 0.1, 0.2, 0.4])
+    if policy == "off":
+        dare = DareConfig.off()
+    elif policy == "lru":
+        dare = DareConfig.greedy_lru(budget=budget)
+    elif policy == "lfu":
+        dare = DareConfig(policy=Policy.GREEDY_LFU, budget=budget)
+    else:
+        dare = DareConfig.elephant_trap(
+            p=rng.choice([0.1, 0.3, 0.5, 1.0]),
+            threshold=rng.randint(1, 3),
+            budget=budget,
+        )
+    failures: Tuple[Tuple[float, int], ...] = ()
+    if rng.random() < 0.35:
+        # at most two distinct slave crashes: with replication 3 no block
+        # can lose every replica, so the run always completes
+        nodes = rng.sample(range(1, SPEC.n_nodes), rng.randint(1, 2))
+        failures = tuple(
+            sorted((round(rng.uniform(10.0, 150.0), 1), n) for n in nodes)
+        )
+    return Scenario(
+        name=f"random-{seed}",
+        dare=dare,
+        scheduler=rng.choice(["fifo", "fair", "fair-skip"]),
+        workload=rng.choice(["wl1", "wl2"]),
+        n_jobs=rng.randint(8, 14),
+        seed=seed,
+        scarlett=rng.random() < 0.25,
+        failures=failures,
+    )

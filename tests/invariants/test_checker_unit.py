@@ -1,0 +1,167 @@
+"""Unit tests: the InvariantChecker catches seeded corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DareConfig
+from repro.core.manager import DareReplicationService
+from repro.observability.invariants import InvariantChecker, InvariantViolation
+from repro.observability.trace import (
+    BLOCK_REPLICATED,
+    HEARTBEAT,
+    TASK_SCHEDULED,
+    Tracer,
+)
+
+
+def make_service(namenode, streams, tracer, policy="lru", budget_blocks=3):
+    config = (
+        DareConfig.greedy_lru()
+        if policy == "lru"
+        else DareConfig.elephant_trap(p=1.0, threshold=1)
+    )
+    service = DareReplicationService(config, namenode, streams, tracer=tracer)
+    for dn in namenode.datanodes.values():
+        dn.dynamic_capacity_bytes = budget_blocks * namenode.block_size
+    return service
+
+
+def remote_target(namenode, block_id):
+    """A node that does not hold ``block_id`` (a remote read is possible)."""
+    for node_id, dn in namenode.datanodes.items():
+        if not dn.has_block(block_id):
+            return node_id
+    raise AssertionError("block replicated everywhere; enlarge the cluster")
+
+
+class SlotStub:
+    """Duck-typed TaskTracker/JobTracker pair for slot-invariant tests."""
+
+    class _Node:
+        map_slots = 2
+        reduce_slots = 2
+
+    def __init__(self, free_map=2, free_reduce=2):
+        self.node = self._Node()
+        self.free_map_slots = free_map
+        self.free_reduce_slots = free_reduce
+
+
+class JtStub:
+    def __init__(self, tasktrackers):
+        self.tasktrackers = tasktrackers
+
+
+class TestHealthyState:
+    def test_clean_replication_passes_every_check(self, loaded_namenode, streams):
+        tracer = Tracer()
+        loaded_namenode.tracer = tracer
+        for dn in loaded_namenode.datanodes.values():
+            dn.tracer = tracer
+        service = make_service(loaded_namenode, streams, tracer)
+        InvariantChecker(
+            loaded_namenode, dare=service, full_sweep_every=1
+        ).attach(tracer)
+        block = loaded_namenode.blocks[0]
+        node = remote_target(loaded_namenode, block.block_id)
+        assert service.on_map_task(node, block, data_local=False, now=1.0)
+        # settled record triggers the strict full sweep
+        tracer.emit(TASK_SCHEDULED, 1.0, node=node, kind="map")
+        loaded_namenode.process_heartbeat(node, 2.0)
+
+    def test_checker_counts_records_and_sweeps(self, loaded_namenode):
+        tracer = Tracer()
+        checker = InvariantChecker(loaded_namenode, full_sweep_every=1).attach(tracer)
+        tracer.emit(HEARTBEAT, 0.0, node=1, free_map_slots=2, free_reduce_slots=2)
+        tracer.emit(BLOCK_REPLICATED, 0.0, node=1, block=0, bytes=1)
+        assert checker.records_seen == 2
+        assert checker.sweeps_run == 1  # only the settled heartbeat swept
+
+
+class TestSeededCorruption:
+    def test_budget_accounting_drift_is_caught(self, loaded_namenode, streams):
+        tracer = Tracer()
+        for dn in loaded_namenode.datanodes.values():
+            dn.tracer = tracer
+        service = make_service(loaded_namenode, streams, tracer)
+        InvariantChecker(
+            loaded_namenode, dare=service, full_sweep_every=1
+        ).attach(tracer)
+        block = loaded_namenode.blocks[0]
+        node = remote_target(loaded_namenode, block.block_id)
+        service.on_map_task(node, block, data_local=False, now=1.0)
+        loaded_namenode.datanodes[node].dynamic_bytes_used += 7  # corrupt
+        with pytest.raises(InvariantViolation, match="dynamic_bytes_used"):
+            tracer.emit(HEARTBEAT, 2.0, node=node)
+
+    def test_budget_overrun_is_caught(self, loaded_namenode, streams):
+        tracer = Tracer()
+        for dn in loaded_namenode.datanodes.values():
+            dn.tracer = tracer
+        service = make_service(loaded_namenode, streams, tracer, budget_blocks=1)
+        InvariantChecker(
+            loaded_namenode, dare=service, full_sweep_every=1
+        ).attach(tracer)
+        block = loaded_namenode.blocks[0]
+        node = remote_target(loaded_namenode, block.block_id)
+        service.on_map_task(node, block, data_local=False, now=1.0)
+        # shrink the budget under the stored bytes: overrun must be flagged
+        loaded_namenode.datanodes[node].dynamic_capacity_bytes = 1
+        with pytest.raises(InvariantViolation, match="budget exceeded"):
+            tracer.emit(HEARTBEAT, 2.0, node=node)
+
+    def test_phantom_policy_entry_is_caught(self, loaded_namenode, streams):
+        tracer = Tracer()
+        service = make_service(loaded_namenode, streams, tracer)
+        InvariantChecker(
+            loaded_namenode, dare=service, full_sweep_every=1
+        ).attach(tracer)
+        # the policy tracks a block its DataNode never stored
+        node = next(iter(service.states))
+        service.states[node].policy.add(loaded_namenode.blocks[0])
+        with pytest.raises(InvariantViolation, match="no live dynamic replica"):
+            tracer.emit(HEARTBEAT, 1.0, node=node)
+
+    def test_slot_overflow_is_caught(self, loaded_namenode):
+        tracer = Tracer()
+        node = next(iter(loaded_namenode.datanodes))
+        jt = JtStub({node: SlotStub(free_map=-1)})
+        InvariantChecker(
+            loaded_namenode, jobtracker=jt, full_sweep_every=1
+        ).attach(tracer)
+        with pytest.raises(InvariantViolation, match="free map slots"):
+            tracer.emit(HEARTBEAT, 1.0, node=node)
+
+    def test_replica_map_inconsistency_is_caught(self, loaded_namenode):
+        tracer = Tracer()
+        InvariantChecker(loaded_namenode, full_sweep_every=1).attach(tracer)
+        # NameNode claims a replica on a node that never stored the block
+        block_id = 0
+        missing = next(
+            n
+            for n, dn in loaded_namenode.datanodes.items()
+            if not dn.has_block(block_id)
+        )
+        loaded_namenode._locations[block_id].add(missing)
+        with pytest.raises(InvariantViolation, match="replica-map consistency"):
+            tracer.emit(HEARTBEAT, 1.0, node=missing)
+
+    def test_violation_carries_trace_tail(self, loaded_namenode):
+        tracer = Tracer()
+        node = next(iter(loaded_namenode.datanodes))
+        stub = SlotStub()
+        jt = JtStub({node: stub})
+        InvariantChecker(
+            loaded_namenode, jobtracker=jt, full_sweep_every=1
+        ).attach(tracer)
+        tracer.emit(BLOCK_REPLICATED, 0.5, node=node, block=7, bytes=1)
+        stub.free_map_slots = 99  # corrupt between records
+        with pytest.raises(InvariantViolation) as exc_info:
+            tracer.emit(HEARTBEAT, 1.0, node=node)
+        violation = exc_info.value
+        assert violation.record is not None
+        assert violation.record.type == HEARTBEAT
+        assert any(r.type == BLOCK_REPLICATED for r in violation.tail)
+        assert "trace tail" in str(violation)
+        assert "block.replicated" in str(violation)

@@ -165,3 +165,82 @@ class TestEvictionWalk:
                 et.on_local_access(fa[0])  # count 3
         assert lo.pick_victim(fb[0]) is None  # 3 >= 1 even after halving once
         assert hi.pick_victim(fb[0]) is fa[0]  # 3 < 5 -> immediate victim
+
+
+class TestCompetitiveAgingRegression:
+    """Satellite pins on Algorithm 2's eviction-sweep aging (ISSUE 1)."""
+
+    def set_counts(self, et, blocks, counts):
+        for b in blocks:
+            et.add(b)
+        for b, c in zip(blocks, counts):
+            for _ in range(c):
+                et.on_local_access(b)
+
+    def test_full_sweep_halves_every_survivor_exactly_once(self, fa, fb):
+        # threshold 2; all counts >= threshold, so the pointer walks one
+        # full lap, halving each visited block exactly once
+        et = make(threshold=2)
+        ring = fa[:2] + fb[2:4]
+        self.set_counts(et, ring, [8, 6, 4, 5])
+        before = {b.block_id: et.access_count(b.block_id) for b in ring}
+        victim = et.pick_victim(fb[5])
+        after = {b.block_id: et.access_count(b.block_id) for b in ring}
+        for bid in before:
+            assert after[bid] == before[bid] // 2, (
+                f"block {bid}: {before[bid]} -> {after[bid]}, expected exactly "
+                "one halving over the sweep"
+            )
+        # after one lap counts are 4,3,2,2 — still >= threshold except none;
+        # the walk re-examines the (already halved) pointer block
+        if victim is not None:
+            assert et.access_count(victim.block_id) < et.threshold
+
+    def test_chosen_victim_was_below_threshold(self, fa, fb):
+        et = make(threshold=3)
+        ring = fa[:3]
+        self.set_counts(et, ring, [9, 2, 7])  # middle block is evictable
+        victim = et.pick_victim(fb[0])
+        assert victim is fa[1]
+        assert et.access_count(victim.block_id) < et.threshold
+        # only the blocks visited before the victim were aged
+        assert et.access_count(fa[0].block_id) == 4  # 9 // 2
+        assert et.access_count(fa[2].block_id) == 7  # never visited
+
+    def test_sweep_abandons_when_everything_stays_popular(self, fa, fb):
+        # counts so large that one halving cannot drop them below threshold
+        et = make(threshold=2)
+        ring = fa[:3]
+        self.set_counts(et, ring, [16, 16, 16])
+        assert et.pick_victim(fb[0]) is None
+        # the abandoned sweep still aged every block exactly once
+        assert [et.access_count(b.block_id) for b in ring] == [8, 8, 8]
+
+    def test_counts_stay_nonnegative_under_repeated_sweeps(self, fa, fb):
+        et = make(threshold=1)
+        ring = fa[:4]
+        self.set_counts(et, ring, [3, 1, 2, 5])
+        for _ in range(10):
+            victim = et.pick_victim(fb[0])
+            if victim is None:
+                break
+            et.remove(victim.block_id)
+            assert all(
+                et.access_count(b.block_id) >= 0
+                for b in et.ring_blocks()
+            )
+
+    def test_survivor_counts_after_eviction_sweep(self, fa, fb):
+        # a sweep that finds a victim part-way: blocks visited before the
+        # victim are halved once, blocks after it are untouched
+        et = make(threshold=2)
+        ring = fa[:2] + fb[2:4]
+        self.set_counts(et, ring, [5, 4, 1, 6])
+        victim = et.pick_victim(fb[5])  # same file as ring[2]!
+        # fb[2] has count 1 < threshold but shares a file with fb[5]:
+        # Algorithm 2 abandons rather than victimize the same popularity class
+        assert victim is None
+        assert et.access_count(fa[0].block_id) == 2  # 5 // 2
+        assert et.access_count(fa[1].block_id) == 2  # 4 // 2
+        assert et.access_count(fb[2].block_id) == 1  # the stopping block, unaged
+        assert et.access_count(fb[3].block_id) == 6  # never visited

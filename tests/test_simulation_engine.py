@@ -114,3 +114,64 @@ class TestStopAndLimits:
         engine.schedule(0.0, inner)
         with pytest.raises(SimulationError, match="re-entrant"):
             engine.run()
+
+
+class TestCancelSemantics:
+    """Satellite coverage for Engine.cancel (ISSUE 1)."""
+
+    def test_cancelled_event_never_fires(self, engine):
+        fired = []
+        keep = engine.schedule(1.0, lambda: fired.append("keep"))
+        drop = engine.schedule(2.0, lambda: fired.append("drop"))
+        engine.cancel(drop)
+        engine.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+    def test_cancel_mid_run_prevents_firing(self, engine):
+        fired = []
+        later = engine.schedule(5.0, lambda: fired.append("later"))
+        engine.schedule(1.0, lambda: engine.cancel(later))
+        engine.run()
+        assert fired == []
+        assert engine.now == 1.0  # the clock never reached the cancelled event
+
+    def test_cancel_already_fired_event_is_noop(self, engine):
+        fired = []
+        ev = engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run(until=1.5)
+        assert fired == [1] and ev.fired
+        engine.cancel(ev)  # must not corrupt the live count
+        assert engine.pending == 1
+        engine.cancel(ev)
+        assert engine.pending == 1
+        engine.run()
+        assert fired == [1, 2]
+        assert engine.pending == 0
+
+    def test_double_cancel_is_noop(self, engine):
+        ev = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.cancel(ev)
+        assert engine.pending == 1
+        engine.cancel(ev)
+        assert engine.pending == 1
+
+    def test_events_processed_excludes_cancelled(self, engine):
+        fired = []
+        for t in range(4):
+            engine.schedule(float(t), lambda t=t: fired.append(t))
+        victim = engine.schedule(1.5, lambda: fired.append("victim"))
+        engine.cancel(victim)
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.events_processed == 4  # the cancelled event is not counted
+
+    def test_pending_count_tracks_cancellations(self, engine):
+        evs = [engine.schedule(float(t), lambda: None) for t in range(3)]
+        assert engine.pending == 3
+        engine.cancel(evs[0])
+        assert engine.pending == 2
+        engine.run()
+        assert engine.pending == 0
