@@ -28,6 +28,7 @@ from collections import Counter
 from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Set, Tuple
 
 from repro.metrics.traffic import TrafficMeter
+from repro.observability.trace import NULL_TRACER, SCARLETT_EPOCH, Tracer
 from repro.simulation.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,6 +70,7 @@ class ScarlettService:
         traffic: TrafficMeter,
         rng: random.Random,
         stop_when=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config.validate()
         #: optional zero-arg predicate: when true, stop scheduling epochs
@@ -76,6 +78,7 @@ class ScarlettService:
         self.namenode = namenode
         self.engine = engine
         self.traffic = traffic
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._rng = rng
         #: accesses per file name in the current epoch
         self._epoch_counts: Counter = Counter()
@@ -87,6 +90,7 @@ class ScarlettService:
         self.replicas_created = 0
         self.replicas_removed = 0
         self.epochs_run = 0
+        self._slack_bytes: Optional[int] = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -102,16 +106,43 @@ class ScarlettService:
 
     # -- epoch logic ---------------------------------------------------------------
 
-    def _budget_bytes(self) -> int:
+    def budget_bytes(self) -> int:
+        """Extra-storage budget in bytes (fraction of stored physical bytes)."""
         physical = sum(
             f.size_bytes * f.replication for f in self.namenode.files.values()
         )
         return int(self.config.budget * physical)
 
+    def extra_bytes(self) -> int:
+        """Bytes currently held as Scarlett extra replicas.
+
+        Pairs on dead nodes still count until aged out — the budget is a
+        bookkeeping construct, not a measure of reachable storage.
+        """
+        return sum(
+            self.namenode.blocks[bid].size_bytes
+            for pairs in self._extra.values()
+            for bid, _node in pairs
+        )
+
+    def slack_bytes(self) -> int:
+        """How far ``extra_bytes`` may legitimately overshoot the budget.
+
+        Copies in flight at an epoch boundary (at most ``max_concurrent``)
+        were planned against the previous epoch's water-fill and may still
+        land on top of the new plan.
+        """
+        if self._slack_bytes is None:
+            # the block set is fixed after dataset load
+            self._slack_bytes = self.config.max_concurrent * max(
+                (b.size_bytes for b in self.namenode.blocks.values()), default=0
+            )
+        return self._slack_bytes
+
     def _water_fill(self, counts: Counter) -> Dict[str, int]:
         """Extra replicas per file: highest accesses-per-replica first."""
         n_slaves = len(self.namenode.datanodes)
-        budget = self._budget_bytes()
+        budget = self.budget_bytes()
         extra: Dict[str, int] = {}
         spent = 0
         # candidate heap approximated with repeated max over the hot set
@@ -137,6 +168,10 @@ class ScarlettService:
 
     def _epoch_boundary(self) -> None:
         self.epochs_run += 1
+        # drop copy work left over from the previous epoch: those copies
+        # were sized against the *old* water-fill plan, and letting them
+        # land on top of the new plan overshoots the budget without bound
+        self._copy_queue.clear()
         counts = self._epoch_counts
         self._epoch_counts = Counter()
         targets = self._water_fill(counts)
@@ -151,6 +186,20 @@ class ScarlettService:
             for _ in range(max(0, missing)):
                 self._enqueue_file_copy(name)
         self._pump()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SCARLETT_EPOCH,
+                self.engine.now,
+                epoch=self.epochs_run,
+                files_hot=len(targets),
+                extra_replicas=sum(len(p) for p in self._extra.values()),
+                budget_bytes=self.budget_bytes(),
+                spent_bytes=self.extra_bytes(),
+                slack_bytes=self.slack_bytes(),
+                replicas_created=self.replicas_created,
+                replicas_removed=self.replicas_removed,
+                queued=len(self._copy_queue),
+            )
         if self.stop_when is None or not self.stop_when():
             self.engine.schedule_in(
                 self.config.epoch_s, self._epoch_boundary, "scarlett-epoch"

@@ -7,10 +7,18 @@ Four subcommands cover the library's workflows::
     python -m repro run --workload wl1 --scheduler fifo --policy et
     python -m repro synth --workload wl2 --jobs 300 --out wl2.json
     python -m repro figures --jobs 200 --only fig7,fig11
+    python -m repro replay verify trace.jsonl
+    python -m repro replay diff lru.jsonl et.jsonl
 
 ``run`` accepts built-in workload names (wl1/wl2), a saved workload JSON,
 or a SWIM-format TSV trace, and can inject node failures or enable the
 Scarlett baseline for comparisons.
+
+``replay`` consumes the JSONL traces ``run --trace`` writes: ``summary``
+prints record counts and reconstructed headline stats, ``verify`` rebuilds
+the control-plane state from the records and checks it against the
+``run.summary`` footer (exit 0 only on an exact match), and ``diff``
+bisects two traces to their first divergent record.
 """
 
 from __future__ import annotations
@@ -140,6 +148,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         scarlett=scarlett,
         failures=_parse_failures(args.fail),
         trace_path=args.trace,
+        trace_engine_events=args.trace_engine_events,
         check_invariants=args.check_invariants,
     )
     result = run_experiment(config, workload)
@@ -169,6 +178,70 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"{k}={v / 1e9:.1f}" for k, v in result.traffic_bytes.items() if v
     ))
     return 0
+
+
+def _load_trace_or_exit(path: str):
+    from repro.replay import TraceFormatError, load_trace
+
+    try:
+        return load_trace(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {path!r}: {exc}")
+    except TraceFormatError as exc:
+        raise SystemExit(f"malformed trace {path!r}: {exc}")
+
+
+def cmd_replay_summary(args: argparse.Namespace) -> int:
+    from repro.replay import reconstruct
+
+    index = _load_trace_or_exit(args.trace)
+    first, last = index.span
+    print(f"{args.trace}: {len(index)} records spanning "
+          f"t={first:.1f}s..{last:.1f}s")
+    config = index.config
+    if config is not None:
+        fields = ", ".join(f"{k}={config.data[k]}" for k in sorted(config.data))
+        print(f"  config:  {fields}")
+    print("  footer:  " + ("present (run completed)" if index.summary is not None
+                           else "MISSING (run crashed or still in flight)"))
+    for rtype in sorted(index.by_type):
+        print(f"  {rtype:<24s} {index.count(rtype):>7d}")
+    state = reconstruct(index, strict=False)
+    loc = state.locality_stats()
+    print(f"  reconstructed: {len(state.jobs)} jobs, "
+          f"locality {loc.locality:.3f} ({loc.node_local}/{loc.total} maps), "
+          f"{state.blocks_created} replicas created, "
+          f"{state.blocks_evicted} evicted")
+    return 0
+
+
+def cmd_replay_verify(args: argparse.Namespace) -> int:
+    from repro.replay import ReconstructionError, reconstruct
+
+    index = _load_trace_or_exit(args.trace)
+    try:
+        state = reconstruct(index)
+    except ReconstructionError as exc:
+        print(f"reconstruction failed: {exc}")
+        return 1
+    report = state.verify()
+    print(report.format())
+    if not report.checks:
+        return 1  # nothing to verify against: no run.summary footer
+    return 0 if report.ok else 1
+
+
+def cmd_replay_diff(args: argparse.Namespace) -> int:
+    from repro.replay import TraceFormatError, diff_traces
+
+    try:
+        diff = diff_traces(args.trace_a, args.trace_b, context=args.context)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace: {exc}")
+    except TraceFormatError as exc:
+        raise SystemExit(f"malformed trace: {exc}")
+    print(diff.format())
+    return 0 if diff.identical else 1
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
@@ -264,10 +337,33 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="TIME:NODE", help="inject a node failure")
     p.add_argument("--trace", default="", metavar="PATH",
                    help="write a JSONL trace of the run to PATH")
+    p.add_argument("--trace-engine-events", action="store_true",
+                   help="also record the per-callback engine.event firehose "
+                        "(huge traces; gives 'replay diff' event-level "
+                        "alignment)")
     p.add_argument("--check-invariants", action="store_true",
                    help="validate cross-component invariants at every "
                         "traced event (aborts on the first violation)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("replay", help="inspect, verify, and diff JSONL run traces")
+    rsub = p.add_subparsers(dest="mode", required=True)
+    r = rsub.add_parser("summary",
+                        help="record counts and reconstructed headline stats")
+    r.add_argument("trace")
+    r.set_defaults(func=cmd_replay_summary)
+    r = rsub.add_parser("verify",
+                        help="rebuild state from records and check it against "
+                             "the run.summary footer (exit 0 = exact match)")
+    r.add_argument("trace")
+    r.set_defaults(func=cmd_replay_verify)
+    r = rsub.add_parser("diff",
+                        help="bisect two traces to their first divergent record")
+    r.add_argument("trace_a")
+    r.add_argument("trace_b")
+    r.add_argument("--context", type=int, default=10,
+                   help="shared-prefix records to show before the divergence")
+    r.set_defaults(func=cmd_replay_diff)
 
     p = sub.add_parser("synth", help="synthesize, inspect, and save a workload")
     p.add_argument("--workload", default="wl1")

@@ -24,7 +24,13 @@ from repro.metrics.placement import coefficient_of_variation, popularity_indices
 from repro.metrics.slowdown import mean_slowdown
 from repro.metrics.turnaround import geometric_mean_turnaround
 from repro.observability.invariants import InvariantChecker
-from repro.observability.trace import NULL_TRACER, JsonlSink, Tracer
+from repro.observability.trace import (
+    NULL_TRACER,
+    RUN_CONFIG,
+    RUN_SUMMARY,
+    JsonlSink,
+    Tracer,
+)
 from repro.scheduling.base import Scheduler
 from repro.scheduling.fair import FairScheduler, SkipCountFairScheduler
 from repro.scheduling.fifo import FifoScheduler
@@ -69,6 +75,9 @@ class ExperimentConfig:
     speculative: bool = False
     #: write a JSONL trace of the run to this path (empty = no trace file)
     trace_path: str = ""
+    #: also record the per-callback ``engine.event`` firehose (huge traces,
+    #: but gives ``replay diff`` event-level alignment)
+    trace_engine_events: bool = False
     #: arm the runtime invariant checker on the trace bus
     check_invariants: bool = False
     #: how many trace records between full cross-component sweeps
@@ -158,15 +167,92 @@ def run_experiment(
     cross-component invariants while the simulation runs.  An
     :class:`~repro.observability.invariants.InvariantViolation` aborts the
     run at the offending event.
+
+    Traces are bracketed by a ``run.config`` header and (on successful
+    completion) a ``run.summary`` footer; the footer's absence marks a
+    crashed run.  Everything from sink attach onward runs under a
+    ``finally: tracer.close()``, so a crashed run still leaves a flushed,
+    parseable trace behind for ``python -m repro replay``.
     """
     if tracer is None:
         tracer = (
-            Tracer()
-            if (config.trace_path or config.check_invariants)
+            Tracer(engine_events=config.trace_engine_events)
+            if (
+                config.trace_path
+                or config.check_invariants
+                or config.trace_engine_events
+            )
             else NULL_TRACER
         )
+    elif config.trace_engine_events and tracer.enabled:
+        tracer.engine_events = True
     if config.trace_path:
         tracer.add_sink(JsonlSink(config.trace_path))
+    try:
+        return _run(config, workload, collector, tracer)
+    finally:
+        tracer.close()
+
+
+def _trace_run_config(tracer: Tracer, config: ExperimentConfig, workload: Workload) -> None:
+    tracer.emit(
+        RUN_CONFIG,
+        0.0,
+        workload=workload.name,
+        jobs=workload.n_jobs,
+        cluster=config.cluster_spec.name,
+        scheduler=config.scheduler,
+        policy=config.dare.policy.value,
+        seed=config.seed,
+        budget=config.dare.budget,
+        replication=config.replication,
+        engine_events=tracer.engine_events,
+        scarlett=config.scarlett is not None,
+        cdrm=config.cdrm is not None,
+        failures=len(config.failures),
+        speculative=config.speculative,
+    )
+
+
+def _trace_run_summary(
+    tracer: Tracer, result: "ExperimentResult", namenode: NameNode, now: float
+) -> None:
+    nodes = {}
+    for node_id, dn in sorted(namenode.datanodes.items()):
+        live = sorted(set(dn.dynamic_blocks) - dn.pending_deletion)
+        if live or dn.dynamic_bytes_used:
+            nodes[str(node_id)] = {"dynamic": live, "used": dn.dynamic_bytes_used}
+    tracer.emit(
+        RUN_SUMMARY,
+        now,
+        n_jobs=result.n_jobs,
+        locality_node=result.locality.node_local,
+        locality_rack=result.locality.rack_local,
+        locality_remote=result.locality.remote,
+        job_locality=result.job_locality,
+        job_locality_counts={
+            str(rec.job_id): list(rec.locality_counts)
+            for rec in result.collector.job_records
+        },
+        blocks_created=result.blocks_created,
+        blocks_evicted=result.blocks_evicted,
+        replication_disk_writes=result.replication_disk_writes,
+        tasks_requeued=result.tasks_requeued,
+        speculative_launched=result.speculative_launched,
+        scarlett_replicas_created=result.scarlett_replicas_created,
+        makespan_s=result.makespan_s,
+        nodes=nodes,
+    )
+
+
+def _run(
+    config: ExperimentConfig,
+    workload: Workload,
+    collector: Optional[MetricsCollector],
+    tracer: Tracer,
+) -> ExperimentResult:
+    if tracer.enabled:
+        _trace_run_config(tracer, config, workload)
 
     streams = RandomStreams(config.seed)
     cluster = Cluster(config.cluster_spec, streams)
@@ -199,15 +285,6 @@ def run_experiment(
     jobtracker.start_tasktrackers()
     jobtracker.submit_trace(workload.specs)
 
-    checker = None
-    if config.check_invariants:
-        checker = InvariantChecker(
-            namenode,
-            dare=dare,
-            jobtracker=jobtracker,
-            full_sweep_every=config.invariant_sweep_every,
-        ).attach(tracer)
-
     scarlett = None
     if config.scarlett is not None:
         scarlett = ScarlettService(
@@ -217,9 +294,20 @@ def run_experiment(
             traffic,
             streams.python("scarlett"),
             stop_when=lambda: jobtracker.finished,
+            tracer=tracer,
         )
         jobtracker.submit_listeners.append(scarlett.observe_submission)
         scarlett.arm()
+
+    checker = None
+    if config.check_invariants:
+        checker = InvariantChecker(
+            namenode,
+            dare=dare,
+            jobtracker=jobtracker,
+            scarlett=scarlett,
+            full_sweep_every=config.invariant_sweep_every,
+        ).attach(tracer)
 
     cdrm = None
     if config.cdrm is not None:
@@ -250,27 +338,23 @@ def run_experiment(
         )
         injector.arm()
 
-    try:
-        engine.run()
+    engine.run()
 
-        if not jobtracker.finished:
-            raise RuntimeError(
-                f"simulation drained with {jobtracker.completed_jobs}/"
-                f"{jobtracker.expected_jobs} jobs complete"
-            )
+    if not jobtracker.finished:
+        raise RuntimeError(
+            f"simulation drained with {jobtracker.completed_jobs}/"
+            f"{jobtracker.expected_jobs} jobs complete"
+        )
 
-        # settle the control plane so the final placement view is complete
-        namenode.flush_all_heartbeats(engine.now)
-        namenode.check_integrity()
-        if checker is not None:
-            checker.check_now()
-    finally:
-        tracer.close()
-
+    # settle the control plane so the final placement view is complete
+    namenode.flush_all_heartbeats(engine.now)
+    namenode.check_integrity()
+    if checker is not None:
+        checker.check_now()
 
     cv_after = coefficient_of_variation(popularity_indices(namenode, access_counts))
     records = collector.job_records
-    return ExperimentResult(
+    result = ExperimentResult(
         config=config,
         workload=workload.name,
         n_jobs=len(records),
@@ -300,3 +384,6 @@ def run_experiment(
         invariant_sweeps=checker.sweeps_run if checker else 0,
         collector=collector,
     )
+    if tracer.enabled:
+        _trace_run_summary(tracer, result, namenode, engine.now)
+    return result

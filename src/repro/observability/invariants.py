@@ -19,6 +19,14 @@ After **every** record, scoped to the node the record names:
 * **Slot accounting** — a TaskTracker's free map/reduce slots stay within
   ``[0, capacity]`` (busy slots never exceed capacity).
 
+After every ``scarlett.epoch`` record (and in full sweeps when a Scarlett
+service is wired in):
+
+* **Scarlett epoch accounting** — bytes held as extra replicas stay within
+  the epoch budget plus the in-flight slack (at most ``max_concurrent``
+  copies can land after a boundary re-plan), and every extra-replica pair
+  on a live node is actually stored there.
+
 At **settled** points (heartbeats, task launch/finish — never mid-eviction),
 throttled by ``full_sweep_every`` records, a full sweep additionally asserts:
 
@@ -39,6 +47,7 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Set
 from repro.observability.trace import (
     HDFS_HEARTBEAT,
     HEARTBEAT,
+    SCARLETT_EPOCH,
     TASK_FINISHED,
     TASK_SCHEDULED,
     RingBufferSink,
@@ -47,6 +56,7 @@ from repro.observability.trace import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.baselines.scarlett import ScarlettService
     from repro.core.manager import DareReplicationService
     from repro.hdfs.datanode import DataNode
     from repro.hdfs.namenode import NameNode
@@ -96,6 +106,9 @@ class InvariantChecker:
         checked.
     jobtracker:
         The compute master, when slot accounting should be checked.
+    scarlett:
+        The epoch-based proactive baseline, when its budget accounting
+        should be checked.
     tail_size:
         How many recent records to keep for diagnostics.
     full_sweep_every:
@@ -108,6 +121,7 @@ class InvariantChecker:
         namenode: "NameNode",
         dare: Optional["DareReplicationService"] = None,
         jobtracker: Optional["JobTracker"] = None,
+        scarlett: Optional["ScarlettService"] = None,
         tail_size: int = 64,
         full_sweep_every: int = 2000,
     ) -> None:
@@ -116,6 +130,7 @@ class InvariantChecker:
         self.namenode = namenode
         self.dare = dare
         self.jobtracker = jobtracker
+        self.scarlett = scarlett
         self.full_sweep_every = full_sweep_every
         self._ring = RingBufferSink(tail_size)
         self.records_seen = 0
@@ -139,6 +154,8 @@ class InvariantChecker:
         node_id = record.data.get("node")
         if isinstance(node_id, int):
             self._check_node(node_id, record)
+        if record.type == SCARLETT_EPOCH:
+            self._check_scarlett(record)
         if record.type in SETTLED_TYPES and self._since_sweep >= self.full_sweep_every:
             self.check_now(record)
 
@@ -156,6 +173,7 @@ class InvariantChecker:
             self._fail(f"replica-map consistency: {exc}", record)
         for node_id in self.namenode.datanodes:
             self._check_node(node_id, record, strict=True)
+        self._check_scarlett(record)
 
     # -- the checks ----------------------------------------------------------------
 
@@ -236,6 +254,41 @@ class InvariantChecker:
                     self._fail(
                         f"node {dn.node_id}: block {bid} has negative access "
                         f"count {state.policy.access_count(bid)}",
+                        record,
+                    )
+
+    def _check_scarlett(self, record: Optional[TraceRecord]) -> None:
+        if self.scarlett is None:
+            return
+        svc = self.scarlett
+        budget = svc.budget_bytes()
+        spent = svc.extra_bytes()
+        # copies already in flight at a boundary re-plan may still land on
+        # top of the new plan: at most max_concurrent of them
+        slack = svc.slack_bytes()
+        if spent > budget + slack:
+            self._fail(
+                f"scarlett: extra-replica bytes {spent} exceed epoch budget "
+                f"{budget} + in-flight slack {slack}",
+                record,
+            )
+        if record is not None and record.type == SCARLETT_EPOCH:
+            if record.data["spent_bytes"] > record.data["budget_bytes"] + slack:
+                self._fail(
+                    f"scarlett: epoch record reports spent_bytes="
+                    f"{record.data['spent_bytes']} over budget_bytes="
+                    f"{record.data['budget_bytes']} + slack {slack}",
+                    record,
+                )
+        for name, pairs in svc._extra.items():
+            for bid, node_id in pairs:
+                dn = self.namenode.datanodes.get(node_id)
+                if dn is None or not dn.node.alive:
+                    continue  # dead-node pairs linger until aged out
+                if bid not in dn.static_blocks:
+                    self._fail(
+                        f"scarlett: extra replica of block {bid} ({name}) "
+                        f"recorded on live node {node_id} but not stored there",
                         record,
                     )
 

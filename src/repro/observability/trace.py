@@ -27,7 +27,16 @@ constants below, ``time`` is the simulation clock, and ``data`` is a flat
 ``FAILURE_INJECTED``   node killed by the failure injector
 ``FAILURE_DETECTED``   NameNode pruned a dead node's replicas
 ``ENGINE_EVENT``       one engine callback fired (opt-in; very hot)
+``SCARLETT_EPOCH``     Scarlett epoch boundary (targets, budget, spent)
+``RUN_CONFIG``         run header: experiment cell parameters (first record)
+``RUN_SUMMARY``        run footer: final counters + per-node end state
 =====================  =========================================================
+
+``RUN_CONFIG`` / ``RUN_SUMMARY`` bracket a complete run so a trace is a
+self-contained replayable artifact: :mod:`repro.replay` reconstructs the
+control-plane end state purely from the records in between and checks it
+against the footer.  A trace that ends without a ``RUN_SUMMARY`` is a
+crashed (or still-running) run — still replayable up to its last record.
 """
 
 from __future__ import annotations
@@ -50,6 +59,9 @@ HDFS_HEARTBEAT = "hdfs.heartbeat"
 FAILURE_INJECTED = "failure.injected"
 FAILURE_DETECTED = "failure.detected"
 ENGINE_EVENT = "engine.event"
+SCARLETT_EPOCH = "scarlett.epoch"
+RUN_CONFIG = "run.config"
+RUN_SUMMARY = "run.summary"
 
 #: every record type the stack emits, for schema validation in tests
 RECORD_TYPES = frozenset(
@@ -66,8 +78,17 @@ RECORD_TYPES = frozenset(
         FAILURE_INJECTED,
         FAILURE_DETECTED,
         ENGINE_EVENT,
+        SCARLETT_EPOCH,
+        RUN_CONFIG,
+        RUN_SUMMARY,
     }
 )
+
+#: JSONL keys owned by the envelope, not the record's data payload
+RESERVED_KEYS = ("type", "t")
+
+#: prefix under which colliding data keys are namespaced in the JSONL form
+DATA_KEY_PREFIX = "data."
 
 
 class TraceRecord(NamedTuple):
@@ -78,10 +99,20 @@ class TraceRecord(NamedTuple):
     data: Dict[str, object]
 
     def to_json(self) -> str:
-        """Serialize as one JSONL line."""
-        return json.dumps(
-            {"type": self.type, "t": self.time, **self.data}, sort_keys=True
-        )
+        """Serialize as one JSONL line.
+
+        The envelope owns the ``type`` and ``t`` keys.  A data field that
+        collides with them (or that itself starts with the namespacing
+        prefix) is written as ``data.<key>`` so the line stays one valid
+        JSON object and the round-trip through
+        :func:`repro.replay.reader.read_trace` is lossless.
+        """
+        payload: Dict[str, object] = {"type": self.type, "t": self.time}
+        for key, value in self.data.items():
+            if key in RESERVED_KEYS or key.startswith(DATA_KEY_PREFIX):
+                key = DATA_KEY_PREFIX + key
+            payload[key] = value
+        return json.dumps(payload, sort_keys=True)
 
 
 # -- sinks ---------------------------------------------------------------------
@@ -107,17 +138,27 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Appends every record to a JSONL file (one object per line)."""
+    """Appends every record to a JSONL file (one object per line).
 
-    def __init__(self, path: str) -> None:
+    Flushes to the OS every ``flush_every`` records so a crashed run's
+    trace is replayable up to (nearly) its last event; the runner closes
+    the sink in a ``try/finally`` which flushes the remainder.
+    """
+
+    def __init__(self, path: str, flush_every: int = 256) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = path
         self._fh = open(path, "w", encoding="utf-8")
         self.records_written = 0
+        self._flush_every = flush_every
 
     def write(self, record: TraceRecord) -> None:
         self._fh.write(record.to_json())
         self._fh.write("\n")
         self.records_written += 1
+        if self.records_written % self._flush_every == 0:
+            self._fh.flush()
 
     def close(self) -> None:
         """Flush and close the file (idempotent)."""

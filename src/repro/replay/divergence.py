@@ -1,0 +1,223 @@
+"""Divergence bisection: align two traces and find the first disagreement.
+
+Two runs of the same workload (different config, seed, or code revision)
+produce traces that share a prefix and then split; the first divergent
+record is where their control-plane decisions first differ — everything
+after it is cascade.  :func:`first_divergence` walks the two streams in
+lockstep with early exit (the streaming-equivalent of bisection: JSONL
+must be read front-to-back anyway, so a prefix-hash bisection would touch
+the same bytes) and stops at the first mismatch.
+
+The report carries the machinery a debugging session needs:
+
+* the divergent record from each side (one side may simply end early);
+* the shared shadow state at the split, plus the *delta* produced by
+  applying each side's divergent record to it — i.e. what each run did
+  differently, in state terms, not just record terms;
+* a ring-buffer-style context tail of the shared prefix.
+
+``run.config`` / ``run.summary`` meta records are excluded from the
+alignment (two configs differ by construction); config differences are
+reported separately.  Enable the ``engine.event`` firehose
+(``--trace-engine-events``) on both runs for the highest-fidelity
+alignment — every callback becomes a comparison point, so the split lands
+on the exact engine event rather than the next control-plane record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.observability.trace import RUN_CONFIG, RUN_SUMMARY, TraceRecord
+from repro.replay.reader import TraceIndex, load_trace
+from repro.replay.shadow import ReconstructionError, ShadowState, reconstruct
+
+#: meta records bracketing a run; never part of the event alignment
+META_TYPES: FrozenSet[str] = frozenset({RUN_CONFIG, RUN_SUMMARY})
+
+
+@dataclass
+class DivergenceReport:
+    """Where and how two traces split."""
+
+    #: position in the aligned (meta-stripped) event streams
+    index: int
+    #: the records that disagree; ``None`` when that trace ended early
+    record_a: Optional[TraceRecord]
+    record_b: Optional[TraceRecord]
+    #: the last records of the shared prefix, oldest first
+    context: List[TraceRecord] = field(default_factory=list)
+    #: shadow-state fields that differ after applying each side's record:
+    #: name -> (value_a, value_b)
+    state_delta: Dict[str, Tuple[object, object]] = field(default_factory=dict)
+    #: config fields that differ between the two runs
+    config_delta: Dict[str, Tuple[object, object]] = field(default_factory=dict)
+
+    def format(self, label_a: str = "A", label_b: str = "B") -> str:
+        """Human-readable diff report."""
+        lines = [f"traces diverge at event #{self.index}"]
+        for label, rec in ((label_a, self.record_a), (label_b, self.record_b)):
+            if rec is None:
+                lines.append(f"  {label}: <trace ends>")
+            else:
+                lines.append(f"  {label}: {rec.to_json()}")
+        if self.config_delta:
+            lines.append("config differences:")
+            for key in sorted(self.config_delta):
+                va, vb = self.config_delta[key]
+                lines.append(f"  {key}: {va!r} vs {vb!r}")
+        if self.state_delta:
+            lines.append("shadow-state delta after applying each side's record:")
+            for key in sorted(self.state_delta):
+                va, vb = self.state_delta[key]
+                lines.append(f"  {key}: {va!r} vs {vb!r}")
+        if self.context:
+            lines.append(
+                f"context tail ({len(self.context)} shared records, oldest first):"
+            )
+            lines.extend(f"  {r.to_json()}" for r in self.context)
+        return "\n".join(lines)
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of diffing two traces."""
+
+    path_a: str
+    path_b: str
+    n_records_a: int
+    n_records_b: int
+    #: ``None`` when the aligned event streams are identical
+    divergence: Optional[DivergenceReport]
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def format(self) -> str:
+        head = (
+            f"A: {self.path_a} ({self.n_records_a} records)\n"
+            f"B: {self.path_b} ({self.n_records_b} records)"
+        )
+        if self.divergence is None:
+            return head + "\ntraces are identical (meta records excluded)"
+        return head + "\n" + self.divergence.format()
+
+
+def _strip_meta(records: Iterable[TraceRecord]) -> List[TraceRecord]:
+    return [r for r in records if r.type not in META_TYPES]
+
+
+def _config_delta(
+    config_a: Optional[TraceRecord], config_b: Optional[TraceRecord]
+) -> Dict[str, Tuple[object, object]]:
+    a = dict(config_a.data) if config_a is not None else {}
+    b = dict(config_b.data) if config_b is not None else {}
+    delta = {}
+    for key in sorted(set(a) | set(b)):
+        if a.get(key) != b.get(key):
+            delta[key] = (a.get(key), b.get(key))
+    return delta
+
+
+def _shadow_fields(state: ShadowState) -> Dict[str, object]:
+    """Flatten the shadow fields worth diffing at a divergence point."""
+    out: Dict[str, object] = {
+        "blocks_created": state.blocks_created,
+        "blocks_evicted": state.blocks_evicted,
+        "replications_abandoned": state.replications_abandoned,
+        "tasks_requeued": state.tasks_requeued,
+        "speculative_launched": state.speculative_launched,
+    }
+    for nid in sorted(state.nodes):
+        node = state.nodes[nid]
+        out[f"node{nid}.live_replicas"] = tuple(sorted(node.live()))
+        out[f"node{nid}.pending_deletion"] = tuple(sorted(node.pending))
+        out[f"node{nid}.budget_used"] = node.used
+        out[f"node{nid}.busy_map"] = node.busy_map
+        out[f"node{nid}.busy_reduce"] = node.busy_reduce
+        out[f"node{nid}.alive"] = node.alive
+    for jid in sorted(state.jobs):
+        out[f"job{jid}.locality_counts"] = tuple(state.jobs[jid].locality_counts)
+    return out
+
+
+def _state_delta(
+    prefix: List[TraceRecord],
+    record_a: Optional[TraceRecord],
+    record_b: Optional[TraceRecord],
+) -> Dict[str, Tuple[object, object]]:
+    """Apply each divergent record to the shared-prefix shadow and diff."""
+    # the prefix is common to both traces, so one reconstruction serves;
+    # lenient mode keeps corrupted traces analyzable
+    base = reconstruct(prefix, strict=False)
+    sides = []
+    for rec in (record_a, record_b):
+        side = base.clone()
+        if rec is not None:
+            try:
+                side.apply(rec)
+            except ReconstructionError:  # pragma: no cover - lenient mode
+                pass
+        sides.append(_shadow_fields(side))
+    fields_a, fields_b = sides
+    delta = {}
+    for key in sorted(set(fields_a) | set(fields_b)):
+        if fields_a.get(key) != fields_b.get(key):
+            delta[key] = (fields_a.get(key), fields_b.get(key))
+    return delta
+
+
+def first_divergence(
+    records_a: Iterable[TraceRecord],
+    records_b: Iterable[TraceRecord],
+    context: int = 10,
+    with_state_delta: bool = True,
+) -> Optional[DivergenceReport]:
+    """The first aligned position where the two event streams disagree.
+
+    Records compare as ``(type, time, data)`` triples — a single changed
+    field, timestamp jitter, or a missing record all count.  Returns
+    ``None`` when one stream equals the other exactly (meta records
+    stripped); when one trace is a strict prefix of the other, the
+    divergence is at the shorter trace's end.
+    """
+    stream_a = _strip_meta(records_a)
+    stream_b = _strip_meta(records_b)
+    for i, (rec_a, rec_b) in enumerate(zip_longest(stream_a, stream_b)):
+        if rec_a == rec_b:
+            continue
+        prefix = stream_a[:i]
+        return DivergenceReport(
+            index=i,
+            record_a=rec_a,
+            record_b=rec_b,
+            context=prefix[-context:],
+            state_delta=(
+                _state_delta(prefix, rec_a, rec_b) if with_state_delta else {}
+            ),
+        )
+    return None
+
+
+def diff_traces(
+    path_a: str,
+    path_b: str,
+    context: int = 10,
+    validate: bool = True,
+) -> TraceDiff:
+    """Load two trace files and bisect them to their first divergence."""
+    index_a = load_trace(path_a, validate=validate)
+    index_b = load_trace(path_b, validate=validate)
+    report = first_divergence(index_a, index_b, context=context)
+    if report is not None:
+        report.config_delta = _config_delta(index_a.config, index_b.config)
+    return TraceDiff(
+        path_a=path_a,
+        path_b=path_b,
+        n_records_a=len(index_a),
+        n_records_b=len(index_b),
+        divergence=report,
+    )

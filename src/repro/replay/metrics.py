@@ -1,0 +1,133 @@
+"""Trace-derived metrics: figure inputs with replayable provenance.
+
+The live :class:`~repro.metrics.collector.MetricsCollector` tallies
+counters as the simulation runs; these functions compute the same
+locality aggregates — plus time-series the collector never kept — from a
+JSONL trace after the fact.  A figure built this way carries its own
+provenance: the trace file *is* the measurement, and
+``python -m repro replay verify`` proves it equals what the live run saw.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional
+
+from repro.metrics.locality import LocalityStats
+from repro.observability.trace import (
+    BLOCK_EVICTED,
+    BLOCK_REPLICATED,
+    REPLICATION_ABANDONED,
+    TASK_SCHEDULED,
+    TraceRecord,
+)
+from repro.replay.shadow import reconstruct
+
+
+class LocalityBucket(NamedTuple):
+    """Map placements launched during one time bucket."""
+
+    t_start: float
+    node_local: int
+    rack_local: int
+    remote: int
+
+    @property
+    def total(self) -> int:
+        return self.node_local + self.rack_local + self.remote
+
+    @property
+    def locality(self) -> float:
+        return self.node_local / self.total if self.total else 0.0
+
+
+class ReplicationBucket(NamedTuple):
+    """Dynamic-replica churn during one time bucket."""
+
+    t_start: float
+    replicated: int
+    evicted: int
+    abandoned: int
+
+
+_LOCALITY_FIELD = {"NODE_LOCAL": 0, "RACK_LOCAL": 1, "REMOTE": 2}
+
+
+def locality_stats(records: Iterable[TraceRecord]) -> LocalityStats:
+    """Cluster-wide map-placement tallies, straight from the trace."""
+    return reconstruct(records, strict=False).locality_stats()
+
+
+def job_locality(records: Iterable[TraceRecord]) -> float:
+    """Unweighted mean per-job data locality (the Fig. 7a/10a metric)."""
+    return reconstruct(records, strict=False).job_locality()
+
+
+def blocks_per_job(records: Iterable[TraceRecord]) -> float:
+    """Dynamic replicas created per job (the Figs. 8-9 bottom panels)."""
+    state = reconstruct(records, strict=False)
+    return state.blocks_created / max(1, len(state.jobs))
+
+
+def locality_timeseries(
+    records: Iterable[TraceRecord],
+    bucket_s: float = 60.0,
+    end: Optional[float] = None,
+) -> List[LocalityBucket]:
+    """Map placements bucketed by launch time.
+
+    Speculative duplicates are excluded, matching the live per-job
+    tallies.  Buckets run from 0 to the last launch (or ``end``); empty
+    buckets are kept so plots show gaps.
+    """
+    if bucket_s <= 0:
+        raise ValueError("bucket_s must be positive")
+    counts: List[List[int]] = []
+    last_t = 0.0
+    for rec in records:
+        if rec.type != TASK_SCHEDULED or rec.data.get("kind") != "map":
+            continue
+        if rec.data.get("speculative"):
+            continue
+        idx = _LOCALITY_FIELD[rec.data["locality"]]
+        bucket = int(rec.time // bucket_s)
+        while len(counts) <= bucket:
+            counts.append([0, 0, 0])
+        counts[bucket][idx] += 1
+        last_t = max(last_t, rec.time)
+    if end is not None:
+        while len(counts) * bucket_s < end:
+            counts.append([0, 0, 0])
+    return [
+        LocalityBucket(i * bucket_s, c[0], c[1], c[2]) for i, c in enumerate(counts)
+    ]
+
+
+def eviction_timeseries(
+    records: Iterable[TraceRecord],
+    bucket_s: float = 60.0,
+    end: Optional[float] = None,
+) -> List[ReplicationBucket]:
+    """Replica creations / evictions / abandonments bucketed by time.
+
+    The thrashing indicator: a healthy policy replicates early and evicts
+    rarely; eviction spikes tracking replication spikes are churn.
+    """
+    if bucket_s <= 0:
+        raise ValueError("bucket_s must be positive")
+    counts: List[List[int]] = []
+    kinds = {BLOCK_REPLICATED: 0, BLOCK_EVICTED: 1, REPLICATION_ABANDONED: 2}
+    for rec in records:
+        idx = kinds.get(rec.type)
+        if idx is None:
+            continue
+        bucket = int(rec.time // bucket_s)
+        while len(counts) <= bucket:
+            counts.append([0, 0, 0])
+        counts[bucket][idx] += 1
+    if end is not None:
+        while len(counts) * bucket_s < end:
+            counts.append([0, 0, 0])
+    return [
+        ReplicationBucket(i * bucket_s, c[0], c[1], c[2])
+        for i, c in enumerate(counts)
+    ]

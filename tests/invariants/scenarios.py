@@ -17,6 +17,8 @@ Two generators feed the tests:
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -65,8 +67,24 @@ class Scenario:
 
 
 def run_scenario(scenario: Scenario) -> ExperimentResult:
-    """Run one scenario with the checker armed; raises on any violation."""
-    return run_experiment(scenario.to_config(), scenario.build_workload())
+    """Run one scenario with the checker armed; raises on any violation.
+
+    When ``INVARIANT_TRACE_DIR`` is set (the CI property sweep does this),
+    each run writes its JSONL trace there and removes it again on success —
+    a failing scenario leaves its trace behind as a replayable artifact
+    for ``python -m repro replay``.
+    """
+    config = scenario.to_config()
+    trace_dir = os.environ.get("INVARIANT_TRACE_DIR", "")
+    trace_path = ""
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        trace_path = os.path.join(trace_dir, f"{scenario.name}.jsonl")
+        config = dataclasses.replace(config, trace_path=trace_path)
+    result = run_experiment(config, scenario.build_workload())
+    if trace_path:
+        os.remove(trace_path)
+    return result
 
 
 def named_scenarios() -> Tuple[Scenario, ...]:

@@ -45,7 +45,7 @@ class TestTracer:
         assert NULL_TRACER.emit(HEARTBEAT, 0.0) is None
 
     def test_record_types_are_distinct(self):
-        assert len(RECORD_TYPES) == 12
+        assert len(RECORD_TYPES) == 15
 
     def test_close_closes_closable_sinks(self, tmp_path):
         tracer = Tracer()
@@ -85,6 +85,28 @@ class TestJsonlSink:
         sink = JsonlSink(str(tmp_path / "t.jsonl"))
         sink.close()
         sink.close()
+
+    def test_reserved_key_collisions_are_namespaced(self):
+        rec = TraceRecord(
+            HEARTBEAT, 1.0, {"type": "x", "t": 9, "data.y": 2, "node": 4}
+        )
+        obj = json.loads(rec.to_json())
+        assert obj["type"] == HEARTBEAT and obj["t"] == 1.0
+        assert obj["data.type"] == "x"
+        assert obj["data.t"] == 9
+        assert obj["data.data.y"] == 2
+        assert obj["node"] == 4
+
+    def test_flush_every_writes_promptly(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(str(path), flush_every=1)
+        sink.write(TraceRecord(HEARTBEAT, 1.0, {"node": 2}))
+        assert path.read_text().strip()  # on disk before close
+        sink.close()
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(str(tmp_path / "t.jsonl"), flush_every=0)
 
 
 class TestEngineFirehose:

@@ -54,7 +54,7 @@ def test_water_fill_respects_budget(file_blocks, counts, budget):
     )
     extra = svc._water_fill(observed)
     spent = sum(nn.file(name).size_bytes * k for name, k in extra.items())
-    assert spent <= svc._budget_bytes()
+    assert spent <= svc.budget_bytes()
     # only observed files receive replicas, and never beyond the slave count
     for name, k in extra.items():
         assert observed[name] > 0

@@ -1,0 +1,157 @@
+"""Tests: aligning two traces and bisecting to the first disagreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import CCT_SPEC
+from repro.core.config import DareConfig
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.observability.trace import RUN_CONFIG, TASK_SCHEDULED, TraceRecord
+from repro.replay import diff_traces, first_divergence, load_trace, read_trace
+from repro.replay.divergence import META_TYPES
+from repro.workloads.swim import synthesize_wl1
+
+SPEC = CCT_SPEC._replace(n_nodes=10)
+
+
+def run_traced(tmp_path, policy, seed=9, name=None):
+    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=6)
+    dare = {
+        "off": DareConfig.off(),
+        "lru": DareConfig.greedy_lru(budget=0.15),
+        "et": DareConfig.elephant_trap(p=0.5, threshold=1, budget=0.15),
+    }[policy]
+    path = str(tmp_path / f"{name or policy}.jsonl")
+    config = ExperimentConfig(
+        cluster_spec=SPEC, dare=dare, seed=seed, trace_path=path
+    )
+    run_experiment(config, workload)
+    return path
+
+
+def write_records(tmp_path, name, records):
+    path = tmp_path / name
+    path.write_text("".join(r.to_json() + "\n" for r in records))
+    return str(path)
+
+
+class TestFirstDivergence:
+    def test_identical_traces_have_no_divergence(self, tmp_path):
+        path = run_traced(tmp_path, "lru")
+        records = list(read_trace(path))
+        assert first_divergence(records, records) is None
+
+    def test_seeded_corruption_is_pinpointed_exactly(self, tmp_path):
+        path = run_traced(tmp_path, "lru")
+        records = list(read_trace(path))
+        # corrupt one mid-trace scheduling decision
+        target = [
+            i for i, r in enumerate(records)
+            if r.type == TASK_SCHEDULED and r.data["kind"] == "map"
+        ][3]
+        corrupted = list(records)
+        data = dict(corrupted[target].data)
+        data["locality"] = "REMOTE" if data["locality"] != "REMOTE" else "NODE_LOCAL"
+        corrupted[target] = TraceRecord(
+            corrupted[target].type, corrupted[target].time, data
+        )
+
+        report = first_divergence(records, corrupted)
+        assert report is not None
+        # the aligned index skips meta records before the corruption point
+        meta_before = sum(1 for r in records[:target] if r.type in META_TYPES)
+        assert report.index == target - meta_before
+        assert report.record_a == records[target]
+        assert report.record_b == corrupted[target]
+        assert report.context  # shared-prefix tail present
+        assert all(r == records[target - len(report.context) + j]
+                   for j, r in enumerate(report.context))
+
+    def test_prefix_trace_diverges_at_its_end(self, tmp_path):
+        path = run_traced(tmp_path, "lru")
+        records = [r for r in read_trace(path) if r.type not in META_TYPES]
+        report = first_divergence(records, records[:-5])
+        assert report is not None
+        assert report.index == len(records) - 5
+        assert report.record_a == records[-5]
+        assert report.record_b is None
+
+    def test_state_delta_shows_what_each_side_did(self, tmp_path):
+        path = run_traced(tmp_path, "lru")
+        records = list(read_trace(path))
+        target = next(
+            i for i, r in enumerate(records)
+            if r.type == TASK_SCHEDULED and r.data["kind"] == "map"
+        )
+        mutated = list(records)
+        data = dict(mutated[target].data)
+        data["locality"] = "REMOTE" if data["locality"] != "REMOTE" else "NODE_LOCAL"
+        mutated[target] = TraceRecord(
+            mutated[target].type, mutated[target].time, data
+        )
+        report = first_divergence(records, mutated)
+        assert report is not None
+        job = records[target].data["job"]
+        assert f"job{job}.locality_counts" in report.state_delta
+
+
+class TestDiffTraces:
+    def test_same_seed_different_policy_diff(self, tmp_path):
+        path_lru = run_traced(tmp_path, "lru", seed=42)
+        path_et = run_traced(tmp_path, "et", seed=42)
+        diff = diff_traces(path_lru, path_et)
+        assert not diff.identical
+        report = diff.divergence
+        assert report.index > 0
+        assert report.config_delta.get("policy") == ("greedy-lru", "elephant-trap")
+        assert report.context
+        text = diff.format()
+        assert "diverge at event" in text
+        assert "context tail" in text
+
+    def test_same_run_twice_is_identical(self, tmp_path):
+        path_a = run_traced(tmp_path, "et", seed=7, name="a")
+        path_b = run_traced(tmp_path, "et", seed=7, name="b")
+        diff = diff_traces(path_a, path_b)
+        assert diff.identical
+        assert "identical" in diff.format()
+
+    def test_config_only_difference_is_not_a_divergence(self, tmp_path):
+        path = run_traced(tmp_path, "lru")
+        records = list(read_trace(path))
+        assert records[0].type == RUN_CONFIG
+        data = dict(records[0].data)
+        data["seed"] = 999  # lie about the config; events untouched
+        doctored = [TraceRecord(RUN_CONFIG, 0.0, data)] + records[1:]
+        path_b = write_records(tmp_path, "doctored.jsonl", doctored)
+        diff = diff_traces(path, path_b)
+        assert diff.identical
+
+
+class TestCliDiff:
+    def test_verify_and_diff_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path_lru = run_traced(tmp_path, "lru", seed=42)
+        path_et = run_traced(tmp_path, "et", seed=42)
+        assert main(["replay", "verify", path_lru]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert main(["replay", "diff", path_lru, path_et]) == 1
+        out = capsys.readouterr().out
+        assert "diverge at event" in out
+        assert main(["replay", "diff", path_lru, path_lru]) == 0
+
+    def test_summary_reports_crashed_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = run_traced(tmp_path, "lru")
+        records = list(read_trace(path))[:-1]  # drop the footer
+        partial = write_records(tmp_path, "partial.jsonl", records)
+        assert main(["replay", "summary", partial]) == 0
+        out = capsys.readouterr().out
+        assert "MISSING" in out
+        # and verify refuses to bless a footer-less trace
+        assert main(["replay", "verify", partial]) == 1
