@@ -1,0 +1,268 @@
+"""Machine-readable performance benchmark with a CI regression gate.
+
+Measures the simulator's headline numbers — engine event throughput,
+cancel-churn cost, NameNode locality queries, the ElephantTrap update, and
+one timed end-to-end sweep cell — and writes them as JSON::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_3.json
+    PYTHONPATH=src python benchmarks/run_bench.py --check benchmarks/baseline.json
+
+``--check`` exits non-zero when any metric's wall time regresses more than
+``BENCH_TOLERANCE`` (default 0.25, i.e. 25%) over the committed baseline;
+this is the CI performance budget.  Faster-than-baseline is always fine.
+``--write-baseline`` refreshes the committed baseline after an intentional
+change (run on a quiet machine, then commit the file).
+
+Stdlib-only by design (``time.perf_counter`` best-of-N) so the gate does
+not depend on pytest-benchmark being installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+#: allowed fractional wall-time regression before --check fails
+TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "0.25"))
+
+#: pre-PR reference for the engine throughput bench (seconds, best-of-N on
+#: the machine that recorded benchmarks/baseline.json); kept so the JSON
+#: artifact documents the optimization this budget protects
+PRE_OPTIMIZATION_ENGINE_S = 0.0092
+
+
+def best_of(fn: Callable[[], object], rounds: int) -> float:
+    """Minimum wall time of ``rounds`` calls (noise-robust point estimate)."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+# -- the measured workloads ---------------------------------------------------
+
+
+def bench_engine_throughput() -> Dict[str, float]:
+    """10k chained events — mirrors test_engine_event_throughput."""
+    from repro.simulation.engine import Engine
+
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                engine.schedule_in(1.0, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        assert count[0] == 10_000
+
+    wall = best_of(run, rounds=20)
+    return {"wall_s": wall, "events_per_sec": 10_000 / wall}
+
+
+def bench_cancel_churn() -> Dict[str, float]:
+    """Speculation-style churn: 7 of every 8 scheduled events cancelled."""
+    from repro.simulation.engine import Engine
+
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 2_000:
+                copies = [engine.schedule_in(1.0 + i, tick) for i in range(8)]
+                for ev in copies[1:]:
+                    engine.cancel(ev)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        assert count[0] == 2_000
+
+    wall = best_of(run, rounds=10)
+    return {"wall_s": wall, "events_per_sec": 2_000 / wall}
+
+
+def bench_locality_queries() -> Dict[str, float]:
+    """Scheduler-style is_local scans over a 200-block file."""
+    from repro.cluster.cluster import CCT_SPEC, Cluster
+    from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+    from repro.hdfs.namenode import NameNode
+    from repro.simulation.rng import RandomStreams
+
+    cluster = Cluster(CCT_SPEC, RandomStreams(3))
+    nn = NameNode(cluster)
+    f = nn.create_file("data", 200 * DEFAULT_BLOCK_SIZE)
+    block_ids = [b.block_id for b in f.blocks]
+
+    def run():
+        hits = 0
+        for node in range(1, 20):
+            for bid in block_ids:
+                if nn.is_local(bid, node):
+                    hits += 1
+        assert hits == 3 * 200
+
+    wall = best_of(run, rounds=20)
+    return {"wall_s": wall, "queries_per_sec": 19 * 200 / wall}
+
+
+def bench_elephant_trap() -> Dict[str, float]:
+    """Trap lifecycle: adds, accesses, eviction walks."""
+    from repro.core.elephant_trap import ElephantTrapPolicy
+    from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+    from repro.hdfs.inode import INode
+
+    blocks = INode(0, "f").allocate_blocks(64 * DEFAULT_BLOCK_SIZE, 0)
+    other = INode(1, "g").allocate_blocks(8 * DEFAULT_BLOCK_SIZE, 100)
+
+    def run():
+        et = ElephantTrapPolicy(0.3, 1, random.Random(7))
+        for b in blocks[:32]:
+            et.add(b)
+        for i in range(2000):
+            et.on_local_access(blocks[i % 32])
+            if i % 10 == 0:
+                victim = et.pick_victim(other[i % 8])
+                if victim is not None:
+                    et.remove(victim.block_id)
+                    et.add(blocks[32 + (i // 10) % 32])
+
+    wall = best_of(run, rounds=10)
+    return {"wall_s": wall}
+
+
+def bench_e2e_cell(n_jobs: int) -> Dict[str, float]:
+    """One end-to-end sweep cell: fair + ElephantTrap on WL1."""
+    from repro.core.config import DareConfig
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.workloads.swim import synthesize_wl1
+
+    rng = np.random.default_rng(20110926)
+    workload = synthesize_wl1(rng, n_jobs=n_jobs)
+    config = ExperimentConfig(
+        scheduler="fair", dare=DareConfig.elephant_trap(), seed=20110926
+    )
+
+    best_wall = float("inf")
+    events = 0
+    for _ in range(3):
+        result = run_experiment(config, workload)
+        events = result.events_processed
+        if result.engine_wall_s < best_wall:
+            best_wall = result.engine_wall_s
+    return {
+        "wall_s": best_wall,
+        "events": float(events),
+        "events_per_sec": events / best_wall,
+        "n_jobs": float(n_jobs),
+    }
+
+
+def collect(n_jobs: int) -> Dict[str, Dict[str, float]]:
+    """Run every benchmark and return {name: metrics}."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name, fn in (
+        ("engine_event_throughput", bench_engine_throughput),
+        ("engine_cancel_churn", bench_cancel_churn),
+        ("namenode_locality_queries", bench_locality_queries),
+        ("elephant_trap_update", bench_elephant_trap),
+    ):
+        print(f"  {name} ...", end="", flush=True)
+        results[name] = fn()
+        print(f" {results[name]['wall_s'] * 1e3:.2f}ms")
+    print("  e2e_fair_et ...", end="", flush=True)
+    results["e2e_fair_et"] = bench_e2e_cell(n_jobs)
+    print(f" {results['e2e_fair_et']['wall_s'] * 1e3:.1f}ms "
+          f"({results['e2e_fair_et']['events_per_sec']:,.0f} events/s)")
+    return results
+
+
+def check_against(
+    results: Dict[str, Dict[str, float]], baseline_path: str, tolerance: float
+) -> int:
+    """Compare wall times to the baseline; return the number of regressions."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_results = baseline.get("results", baseline)
+    failures = 0
+    for name, metrics in sorted(results.items()):
+        base = base_results.get(name)
+        if base is None:
+            print(f"  {name:<28s} (no baseline entry, skipped)")
+            continue
+        ratio = metrics["wall_s"] / base["wall_s"]
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = f"REGRESSION (> {tolerance:.0%} budget)"
+            failures += 1
+        print(f"  {name:<28s} {base['wall_s'] * 1e3:8.2f}ms -> "
+              f"{metrics['wall_s'] * 1e3:8.2f}ms  ({ratio:5.2f}x)  {verdict}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int,
+                        default=int(os.environ.get("REPRO_BENCH_JOBS", "120")),
+                        help="e2e cell trace length (default $REPRO_BENCH_JOBS or 120)")
+    parser.add_argument("--out", default="", metavar="PATH",
+                        help="write results JSON (e.g. BENCH_3.json)")
+    parser.add_argument("--check", default="", metavar="BASELINE",
+                        help="fail on > tolerance wall-time regression vs BASELINE")
+    parser.add_argument("--write-baseline", default="", metavar="PATH",
+                        help="write/refresh the committed baseline file")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help=f"allowed fractional regression (default {TOLERANCE})")
+    args = parser.parse_args(argv)
+
+    print(f"running benchmarks (e2e cell: {args.jobs} jobs) ...")
+    results = collect(args.jobs)
+
+    doc = {
+        "bench": 3,
+        "generated_by": "benchmarks/run_bench.py",
+        "n_jobs": args.jobs,
+        "results": results,
+        "reference": {
+            "pre_optimization_engine_event_throughput_s": PRE_OPTIMIZATION_ENGINE_S,
+            "engine_event_throughput_speedup": round(
+                PRE_OPTIMIZATION_ENGINE_S
+                / results["engine_event_throughput"]["wall_s"],
+                3,
+            ),
+        },
+    }
+    for path in (args.out, args.write_baseline):
+        if path:
+            with open(path, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {path}")
+
+    if args.check:
+        print(f"checking against {args.check} (tolerance {args.tolerance:.0%}):")
+        failures = check_against(results, args.check, args.tolerance)
+        if failures:
+            print(f"FAILED: {failures} metric(s) over the performance budget")
+            return 1
+        print("all metrics within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

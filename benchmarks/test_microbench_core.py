@@ -38,6 +38,58 @@ def test_engine_event_throughput(benchmark):
     assert benchmark(run) == 10_000
 
 
+def test_engine_cancel_churn(benchmark):
+    """Schedule/cancel-heavy workload: compaction keeps the heap bounded.
+
+    Mimics speculative execution: most scheduled work is cancelled before
+    it fires.  Without compaction the heap accretes cancelled garbage and
+    every pop pays for it.
+    """
+
+    def run():
+        engine = Engine()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            # schedule 8 speculative copies, cancel 7, keep one chained tick
+            if count[0] < 2_000:
+                copies = [engine.schedule_in(1.0 + i, tick) for i in range(8)]
+                for ev in copies[1:]:
+                    engine.cancel(ev)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return count[0]
+
+    assert benchmark(run) == 2_000
+
+
+def test_e2e_sweep_cell(benchmark, n_jobs):
+    """One timed end-to-end cell: fair scheduler + ElephantTrap on WL1.
+
+    The scenario the paper sweeps (Fig. 7); exercises every layer — engine,
+    heartbeat chain, scheduler scans, NameNode queries, DARE policy — in a
+    single wall-clock number comparable across commits.
+    """
+    from conftest import run_once
+    from repro.core.config import DareConfig
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.workloads.swim import synthesize_wl1
+
+    rng = np.random.default_rng(20110926)
+    workload = synthesize_wl1(rng, n_jobs=n_jobs)
+    config = ExperimentConfig(
+        scheduler="fair", dare=DareConfig.elephant_trap(), seed=20110926
+    )
+
+    result = run_once(benchmark, run_experiment, config, workload)
+    assert result.events_processed > 0
+    rate = result.events_processed / result.engine_wall_s
+    print(f"\n  e2e cell: {result.events_processed} events, "
+          f"{result.engine_wall_s:.3f}s engine wall ({rate:,.0f} events/s)")
+
+
 def test_elephant_trap_update_cost(benchmark):
     """A full trap lifecycle: adds, accesses, eviction walks."""
     blocks = INode(0, "f").allocate_blocks(64 * DEFAULT_BLOCK_SIZE, 0)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import TYPE_CHECKING, List, NamedTuple, Optional, Tuple
+from typing import TYPE_CHECKING, List, NamedTuple, Tuple
 
 from repro.metrics.traffic import TrafficMeter
 from repro.simulation.engine import Engine

@@ -25,14 +25,13 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.metrics.traffic import TrafficMeter
 from repro.observability.trace import NULL_TRACER, SCARLETT_EPOCH, Tracer
 from repro.simulation.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.hdfs.inode import INode
     from repro.hdfs.namenode import NameNode
     from repro.mapreduce.job import Job
 

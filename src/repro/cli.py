@@ -9,6 +9,7 @@ Four subcommands cover the library's workflows::
     python -m repro figures --jobs 200 --only fig7,fig11
     python -m repro replay verify trace.jsonl
     python -m repro replay diff lru.jsonl et.jsonl
+    python -m repro perf --jobs 300 --scheduler fair --top 10
 
 ``run`` accepts built-in workload names (wl1/wl2), a saved workload JSON,
 or a SWIM-format TSV trace, and can inject node failures or enable the
@@ -150,6 +151,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         trace_engine_events=args.trace_engine_events,
         check_invariants=args.check_invariants,
+        profile=args.profile,
+        profile_sample_every=args.profile_every,
     )
     result = run_experiment(config, workload)
     print(result.summary_row())
@@ -177,6 +180,51 @@ def cmd_run(args: argparse.Namespace) -> int:
     print("  network traffic (GB): " + ", ".join(
         f"{k}={v / 1e9:.1f}" for k, v in result.traffic_bytes.items() if v
     ))
+    if result.profiler is not None:
+        rate = result.events_processed / result.engine_wall_s if result.engine_wall_s else 0.0
+        print(f"  engine: {result.events_processed} events in "
+              f"{result.engine_wall_s:.3f}s ({rate:,.0f} events/s)")
+        print(result.profiler.format_report())
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Profile one simulation cell and report per-callback costs."""
+    workload = _workload(args)
+    config = ExperimentConfig(
+        cluster_spec=_CLUSTERS[args.cluster],
+        scheduler=args.scheduler,
+        dare=_policy(args),
+        seed=args.seed,
+        profile=True,
+        profile_sample_every=args.every,
+    )
+    result = run_experiment(config, workload)
+    rate = result.events_processed / result.engine_wall_s if result.engine_wall_s else 0.0
+    profiler = result.profiler
+    assert profiler is not None
+    if args.json:
+        import json
+
+        doc = {
+            "workload": args.workload,
+            "jobs": workload.n_jobs,
+            "scheduler": args.scheduler,
+            "policy": args.policy,
+            "seed": args.seed,
+            "events_processed": result.events_processed,
+            "engine_wall_s": result.engine_wall_s,
+            "events_per_sec": rate,
+            "profile": profiler.to_dict(top=args.top),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    print(f"{workload.name}/{args.scheduler}/{args.policy}: "
+          f"{result.events_processed} events in {result.engine_wall_s:.3f}s "
+          f"({rate:,.0f} events/s)")
+    print(profiler.format_report(top=args.top))
     return 0
 
 
@@ -344,7 +392,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-invariants", action="store_true",
                    help="validate cross-component invariants at every "
                         "traced event (aborts on the first violation)")
+    p.add_argument("--profile", action="store_true",
+                   help="sample per-callback costs and print the profile "
+                        "report after the run")
+    p.add_argument("--profile-every", type=int, default=7, metavar="N",
+                   help="profile every Nth callback (default 7)")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("perf",
+                       help="profile one simulation cell: events/sec plus a "
+                            "per-callback-bucket cost report")
+    p.add_argument("--workload", default="wl1",
+                   help="wl1, wl2, a saved .json, or a SWIM .tsv")
+    p.add_argument("--jobs", type=int, default=200)
+    p.add_argument("--cluster", choices=sorted(_CLUSTERS), default="cct")
+    p.add_argument("--scheduler", choices=("fifo", "fair", "fair-skip"), default="fifo")
+    p.add_argument("--policy", choices=("off", "lru", "et"), default="et")
+    p.add_argument("--p", type=float, default=0.3, help="ElephantTrap probability")
+    p.add_argument("--threshold", type=int, default=1)
+    p.add_argument("--budget", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=20110926)
+    p.add_argument("--every", type=int, default=7, metavar="N",
+                   help="sample every Nth callback (default 7)")
+    p.add_argument("--top", type=int, default=12,
+                   help="buckets to show in the report")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="also write the report as JSON to PATH")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("replay", help="inspect, verify, and diff JSONL run traces")
     rsub = p.add_subparsers(dest="mode", required=True)

@@ -17,7 +17,7 @@ Two topology families are modeled:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 import numpy as np
 
@@ -93,6 +93,10 @@ class Topology:
         else:
             self._detour = None
 
+        # lazily-built per-node rack-membership index (see rack_members):
+        # rack_of is immutable after construction, so one build suffices
+        self._rack_members: List[frozenset] = []
+
     @staticmethod
     def _scatter_racks(
         n_nodes: int, rng: np.random.Generator, nodes_per_rack_mean: float
@@ -163,6 +167,22 @@ class Topology:
     def nodes_in_rack(self, rack: int) -> List[int]:
         """Node ids located in ``rack``."""
         return [i for i, r in enumerate(self.rack_of) if r == rack]
+
+    def rack_members(self, node_id: int) -> frozenset:
+        """Nodes sharing ``node_id``'s rack, as a cached frozenset.
+
+        This is the locality-scan index: schedulers test replica sets
+        against it with ``set.isdisjoint``, which is much cheaper than
+        comparing ``rack_of`` entries (NumPy scalars) per replica holder.
+        """
+        members = self._rack_members
+        if not members:
+            by_rack: Dict[int, List[int]] = {}
+            for node, rack in enumerate(self.rack_of.tolist()):
+                by_rack.setdefault(rack, []).append(node)
+            sets = {rack: frozenset(nodes) for rack, nodes in by_rack.items()}
+            members.extend(sets[rack] for rack in self.rack_of.tolist())
+        return members[node_id]
 
     def racks(self) -> Dict[int, List[int]]:
         """Mapping rack id -> node ids."""

@@ -11,7 +11,7 @@ task already fetched, which the test suite verifies through the
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.budget import ReplicationBudget
 from repro.core.config import DareConfig, Policy

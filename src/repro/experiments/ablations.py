@@ -14,7 +14,7 @@ These probe the design choices DESIGN.md calls out:
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Sequence
+from typing import List, NamedTuple, Sequence
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from repro.cluster.cluster import CCT_SPEC
 from repro.core.config import DareConfig, Policy
 from repro.experiments.runner import ExperimentConfig, run_experiment
 from repro.scheduling.fair import FairScheduler
-from repro.workloads.swim import Workload, synthesize_wl1, synthesize_wl2
+from repro.workloads.swim import synthesize_wl1, synthesize_wl2
 
 DEFAULT_SEED = 20110926
 

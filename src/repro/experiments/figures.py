@@ -20,7 +20,7 @@ from repro.analysis.patterns import (
     window_distribution,
 )
 from repro.cluster.cluster import CCT_SPEC, EC2_SPEC, ClusterSpec
-from repro.core.config import DareConfig, Policy
+from repro.core.config import DareConfig
 from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
 from repro.workloads.swim import Workload, synthesize_wl1, synthesize_wl2
 

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from repro.baselines.cdrm import CdrmConfig, CdrmService
 from repro.baselines.scarlett import ScarlettConfig, ScarlettService
@@ -24,6 +24,7 @@ from repro.metrics.placement import coefficient_of_variation, popularity_indices
 from repro.metrics.slowdown import mean_slowdown
 from repro.metrics.turnaround import geometric_mean_turnaround
 from repro.observability.invariants import InvariantChecker
+from repro.observability.profiling import CallbackProfiler
 from repro.observability.trace import (
     NULL_TRACER,
     RUN_CONFIG,
@@ -82,6 +83,11 @@ class ExperimentConfig:
     check_invariants: bool = False
     #: how many trace records between full cross-component sweeps
     invariant_sweep_every: int = 2000
+    #: attach a sampling CallbackProfiler to the engine (repro perf /
+    #: run --profile); does not perturb the simulation or its trace
+    profile: bool = False
+    #: time every Nth engine callback when profiling
+    profile_sample_every: int = 7
 
     def label(self) -> str:
         """Readable cell label for reports."""
@@ -138,6 +144,11 @@ class ExperimentResult:
     #: observability activity (zero when tracing/checking disabled)
     trace_records_checked: int = 0
     invariant_sweeps: int = 0
+    #: engine callbacks fired and wall-clock spent inside engine.run()
+    events_processed: int = 0
+    engine_wall_s: float = 0.0
+    #: the sampling profiler, populated when config.profile is set
+    profiler: Optional["CallbackProfiler"] = field(repr=False, default=None)
     #: raw per-task / per-job records for deeper analysis
     collector: MetricsCollector = field(repr=False, default=None)
 
@@ -257,6 +268,10 @@ def _run(
     streams = RandomStreams(config.seed)
     cluster = Cluster(config.cluster_spec, streams)
     engine = Engine(tracer=tracer)
+    profiler = None
+    if config.profile:
+        profiler = CallbackProfiler(sample_every=config.profile_sample_every)
+        engine.profiler = profiler
     namenode = NameNode(cluster, tracer=tracer)
 
     # load the data set (static replicas via the default placement policy)
@@ -338,7 +353,9 @@ def _run(
         )
         injector.arm()
 
+    wall_start = time.perf_counter()
     engine.run()
+    engine_wall_s = time.perf_counter() - wall_start
 
     if not jobtracker.finished:
         raise RuntimeError(
@@ -382,6 +399,9 @@ def _run(
         speculative_won=jobtracker.speculative_won,
         trace_records_checked=checker.records_seen if checker else 0,
         invariant_sweeps=checker.sweeps_run if checker else 0,
+        events_processed=engine.events_processed,
+        engine_wall_s=engine_wall_s,
+        profiler=profiler,
         collector=collector,
     )
     if tracer.enabled:

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.cluster.cluster import Cluster
 from repro.hdfs.block import DEFAULT_BLOCK_SIZE, Block
@@ -122,18 +121,24 @@ class NameNode:
         leave — the scheduler's location view.
         """
         dn = self.datanodes[node_id]
-        cmds = dn.drain_outbox()
-        for cmd in cmds:
-            cmd.validate()
-            if cmd.op == DNA_DYNREPL:
-                self._locations[cmd.block_id].add(node_id)
-            elif cmd.op == DNA_INVALIDATE:
-                self._locations[cmd.block_id].discard(node_id)
+        # most heartbeats carry no control messages: skip the outbox drain
+        # and deletion scan entirely on that path (this runs for every
+        # TaskTracker beat, so the empty case is by far the hottest)
+        if dn.outbox:
+            cmds = dn.drain_outbox()
+            for cmd in cmds:
+                cmd.validate()
+                if cmd.op == DNA_DYNREPL:
+                    self._locations[cmd.block_id].add(node_id)
+                elif cmd.op == DNA_INVALIDATE:
+                    self._locations[cmd.block_id].discard(node_id)
+            self.command_log.extend(cmds)
+        else:
+            cmds = []
         # physical lazy deletion happens when the node is idle enough to
         # heartbeat, matching "blocks marked for deletion are lazily removed"
-        dn.complete_deletions()
-        if cmds:
-            self.command_log.extend(cmds)
+        if dn.pending_deletion:
+            dn.complete_deletions()
         if self.tracer.enabled:
             self.tracer.emit(
                 HDFS_HEARTBEAT, now, node=node_id, commands=len(cmds)

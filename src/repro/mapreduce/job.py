@@ -112,9 +112,17 @@ class Job:
 
     @property
     def reduces_schedulable(self) -> bool:
-        """Reduces launch once the map phase finishes (no early shuffle)."""
-        return self.maps_done and any(
-            r.state is TaskState.PENDING for r in self.reduces
+        """Reduces launch once the map phase finishes (no early shuffle).
+
+        Pure counter arithmetic: this is evaluated for every active job on
+        every heartbeat's reduce-assignment round, and a per-reduce state
+        scan here dominated end-to-end profiles.  A reduce is PENDING iff
+        it is neither running nor finished (failure requeue restores both
+        the state and the running counter), so the counters are exact.
+        """
+        return (
+            self.finished_maps == len(self.maps)
+            and self.running_reduces + self.finished_reduces < len(self.reduces)
         )
 
     @property
@@ -146,17 +154,23 @@ class Job:
         """
         if not self.pending_maps:
             return None
-        topo = namenode.cluster.topology
-        node_rack = topo.rack_of[node_id]
+        # the scan runs for every (job, free slot) pair of every heartbeat:
+        # rack membership uses the topology's cached per-rack node set (one
+        # C-level isdisjoint per task instead of a python loop over replica
+        # holders), and the location lookup is bound once outside the loop
+        locations = namenode.locations
+        want_rack = max_level >= Locality.RACK_LOCAL
+        rack_nodes = (
+            namenode.cluster.topology.rack_members(node_id) if want_rack else ()
+        )
         rack_candidate: Optional[MapTask] = None
         for task in self.pending_maps:
-            locs = namenode.locations(task.block.block_id)
+            locs = locations(task.block.block_id)
             if node_id in locs:
                 return task, Locality.NODE_LOCAL
-            if max_level >= Locality.RACK_LOCAL and rack_candidate is None:
-                if any(topo.rack_of[n] == node_rack for n in locs):
-                    rack_candidate = task
-        if rack_candidate is not None and max_level >= Locality.RACK_LOCAL:
+            if want_rack and rack_candidate is None and not locs.isdisjoint(rack_nodes):
+                rack_candidate = task
+        if rack_candidate is not None:
             return rack_candidate, Locality.RACK_LOCAL
         if max_level >= Locality.REMOTE:
             return self.pending_maps[0], Locality.REMOTE

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.core.manager import DareReplicationService
@@ -144,17 +144,19 @@ class JobTracker:
     def heartbeat(self, tt: TaskTracker) -> None:
         """Handle one TaskTracker heartbeat: control plane, then work."""
         now = self.engine.now
+        node_id = tt.node_id
         # the heartbeat carries the DataNode's block reports: DARE replicas
         # and invalidations become visible to the scheduler here
-        self.namenode.process_heartbeat(tt.node_id, now)
+        self.namenode.process_heartbeat(node_id, now)
+        scheduler = self.scheduler
         while tt.free_map_slots > 0:
-            pick = self.scheduler.pick_map(tt.node_id, now)
+            pick = scheduler.pick_map(node_id, now)
             if pick is None:
                 break
             job, task, locality = pick
             self._launch_map(job, task, locality, tt, now)
         while tt.free_reduce_slots > 0:
-            pick = self.scheduler.pick_reduce(tt.node_id, now)
+            pick = scheduler.pick_reduce(node_id, now)
             if pick is None:
                 break
             job, rtask = pick
@@ -270,10 +272,9 @@ class JobTracker:
             )
 
     def _fallback_locality(self, node_id: int, block_id: int) -> Locality:
-        topo = self.cluster.topology
-        rack = topo.rack_of[node_id]
+        rack_nodes = self.cluster.topology.rack_members(node_id)
         for n in self.namenode.locations(block_id):
-            if n != node_id and topo.rack_of[n] == rack:
+            if n != node_id and n in rack_nodes:
                 return Locality.RACK_LOCAL
         return Locality.REMOTE
 

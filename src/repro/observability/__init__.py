@@ -8,6 +8,7 @@ the component layers and is imported lazily here to avoid cycles.
 
 from __future__ import annotations
 
+from repro.observability.profiling import BucketStats, CallbackProfiler
 from repro.observability.trace import (
     NULL_TRACER,
     JsonlSink,
@@ -18,6 +19,8 @@ from repro.observability.trace import (
 
 __all__ = [
     "NULL_TRACER",
+    "BucketStats",
+    "CallbackProfiler",
     "JsonlSink",
     "RingBufferSink",
     "TraceRecord",

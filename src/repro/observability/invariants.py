@@ -42,7 +42,7 @@ record and the recent trace tail.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Iterable, Optional, Set
 
 from repro.observability.trace import (
     HDFS_HEARTBEAT,

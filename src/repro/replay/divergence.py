@@ -31,7 +31,7 @@ from itertools import zip_longest
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.observability.trace import RUN_CONFIG, RUN_SUMMARY, TraceRecord
-from repro.replay.reader import TraceIndex, load_trace
+from repro.replay.reader import load_trace
 from repro.replay.shadow import ReconstructionError, ShadowState, reconstruct
 
 #: meta records bracketing a run; never part of the event alignment

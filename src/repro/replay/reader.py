@@ -34,7 +34,6 @@ from repro.observability.trace import (
     HEARTBEAT,
     RECORD_TYPES,
     REPLICATION_ABANDONED,
-    RESERVED_KEYS,
     RUN_CONFIG,
     RUN_SUMMARY,
     SCARLETT_EPOCH,

@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import heapq
+from heapq import heappush as _heappush
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.observability.trace import ENGINE_EVENT, NULL_TRACER, Tracer
 from repro.simulation.events import Event, EventQueue
+
+#: bound once: Event.__new__ lookup is on the per-event scheduling path
+_new_event = Event.__new__
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.profiling import CallbackProfiler
 
 
 class SimulationError(RuntimeError):
@@ -19,6 +27,14 @@ class Engine:
     :meth:`schedule` / :meth:`schedule_in` and the engine fires callbacks in
     nondecreasing time order.  The loop stops when the queue drains, when
     ``until`` is reached, or when :meth:`stop` is called from a callback.
+
+    The event loop has two shapes.  When nothing wants per-event hooks —
+    no ``until`` horizon, the ``engine.event`` firehose off (always true for
+    :data:`NULL_TRACER`), no profiler — :meth:`run` drops into a fast path
+    that inlines the queue pop and touches nothing but the heap, the clock,
+    and the callback.  Any hook switches to the general loop, which behaves
+    identically event-for-event (the determinism suite holds traces from
+    both loops byte-identical).
 
     Example
     -------
@@ -38,6 +54,7 @@ class Engine:
         "events_processed",
         "max_events",
         "tracer",
+        "profiler",
     )
 
     def __init__(self, max_events: int = 200_000_000, tracer: Tracer = NULL_TRACER) -> None:
@@ -50,8 +67,16 @@ class Engine:
         self.max_events = max_events
         #: trace bus; per-callback records require ``tracer.engine_events``
         self.tracer = tracer
+        #: optional :class:`CallbackProfiler` timing sampled callbacks
+        self.profiler: Optional["CallbackProfiler"] = None
 
     # -- scheduling ------------------------------------------------------
+    #
+    # schedule/schedule_in are the simulator's hottest entry points (one
+    # call per event fired, for chained periodic processes), so both inline
+    # EventQueue.push — including the Event construction, via __new__ plus
+    # slot stores, which skips the __init__ call frame.  Any change here
+    # must be mirrored in EventQueue.push/repush.
 
     def schedule(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute simulation time ``time``."""
@@ -59,13 +84,49 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule {label!r} at t={time} in the past (now={self.now})"
             )
-        return self._queue.push(time, action, label)
+        queue = self._queue
+        ev: Event = _new_event(Event)
+        ev.time = time
+        ev.seq = queue._seq
+        ev.action = action
+        ev.label = label
+        ev.cancelled = False
+        ev.fired = False
+        queue._seq += 1
+        queue._live += 1
+        _heappush(queue._heap, ev)
+        return ev
 
     def schedule_in(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for {label!r}")
-        return self._queue.push(self.now + delay, action, label)
+        queue = self._queue
+        ev: Event = _new_event(Event)
+        ev.time = self.now + delay
+        ev.seq = queue._seq
+        ev.action = action
+        ev.label = label
+        ev.cancelled = False
+        ev.fired = False
+        queue._seq += 1
+        queue._live += 1
+        _heappush(queue._heap, ev)
+        return ev
+
+    def reschedule_in(
+        self, delay: float, event: Event, label: Optional[str] = None
+    ) -> Event:
+        """Re-arm a fired event ``delay`` seconds from now, reusing it.
+
+        For periodic processes (heartbeats): identical semantics to
+        ``schedule_in(delay, event.action, ...)`` — including the fresh
+        ``seq`` — without allocating a new :class:`Event` every period.
+        ``label`` of ``None`` keeps the event's current label.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {event.label!r}")
+        return self._queue.repush(event, self.now + delay, label)
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event."""
@@ -84,26 +145,63 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         self._stopped = False
-        # snapshot the firehose flag: one bool check per event, not three
-        trace_events = self.tracer.enabled and self.tracer.engine_events
+        tracer = self.tracer
+        # snapshot the firehose flag: one bool check per run, not per event
+        trace_events = tracer.enabled and tracer.engine_events
+        profiler = self.profiler
+        if profiler is not None and not profiler.enabled:
+            profiler = None
+        queue = self._queue
+        limit = self.max_events
         try:
-            while self._queue and not self._stopped:
-                next_time = self._queue.peek_time()
-                if until is not None and next_time is not None and next_time > until:
-                    self.now = until
-                    return
-                ev = self._queue.pop()
+            if until is None and not trace_events and profiler is None:
+                # -- fast path: the pop is inlined and nothing else runs.
+                # ``heap`` must stay bound to the queue's own list object:
+                # callbacks push into it and compaction mutates it in place.
+                heap = queue._heap
+                heappop = heapq.heappop
+                processed = self.events_processed
+                try:
+                    while heap and not self._stopped:
+                        ev = heappop(heap)
+                        if ev.cancelled:
+                            queue._cancelled -= 1
+                            continue
+                        ev.fired = True
+                        queue._live -= 1
+                        self.now = ev.time
+                        processed += 1
+                        if processed > limit:
+                            raise SimulationError(
+                                f"exceeded max_events={limit}; runaway simulation?"
+                            )
+                        ev.action()
+                finally:
+                    self.events_processed = processed
+                return
+
+            # -- general path: horizon checks and per-event hooks
+            while queue and not self._stopped:
+                if until is not None:
+                    next_time = queue.peek_time()
+                    if next_time is not None and next_time > until:
+                        self.now = until
+                        return
+                ev = queue.pop()
                 if ev is None:
                     break
                 self.now = ev.time
                 self.events_processed += 1
-                if self.events_processed > self.max_events:
+                if self.events_processed > limit:
                     raise SimulationError(
-                        f"exceeded max_events={self.max_events}; runaway simulation?"
+                        f"exceeded max_events={limit}; runaway simulation?"
                     )
                 if trace_events:
-                    self.tracer.emit(ENGINE_EVENT, ev.time, label=ev.label, seq=ev.seq)
-                ev.action()
+                    tracer.emit(ENGINE_EVENT, ev.time, label=ev.label, seq=ev.seq)
+                if profiler is not None:
+                    profiler.observe(ev)
+                else:
+                    ev.action()
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
         finally:

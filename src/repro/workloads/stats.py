@@ -8,7 +8,7 @@ and the access skew that drives every DARE result.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple
+from typing import NamedTuple
 
 import numpy as np
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.cluster import CCT_SPEC, Cluster, ClusterSpec
+from repro.cluster.cluster import CCT_SPEC, Cluster
 from repro.hdfs.namenode import NameNode
 from repro.simulation.engine import Engine
 from repro.simulation.rng import RandomStreams

@@ -21,7 +21,7 @@ import dataclasses
 import os
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

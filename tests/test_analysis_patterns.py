@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.access_log import AccessLog, LogParams, generate_access_log
+from repro.analysis.access_log import AccessLog, generate_access_log
 from repro.analysis.patterns import (
     _smallest_window,
     age_at_access_cdf,

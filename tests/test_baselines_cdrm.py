@@ -52,8 +52,6 @@ class TestCdrmRuns:
         )
 
     def test_replicas_reach_target(self, wl, cdrm_cfg):
-        from repro.cluster.cluster import Cluster
-        from repro.simulation.rng import RandomStreams
 
         r = run_experiment(
             ExperimentConfig(cluster_spec=SMALL_SPEC, cdrm=cdrm_cfg), wl

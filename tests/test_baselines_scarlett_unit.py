@@ -1,7 +1,6 @@
 """Unit tests: Scarlett's internals (water-fill, copies, aging)."""
 
 import random
-from collections import Counter
 
 import pytest
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.cluster import CCT_SPEC, EC2_SPEC, Cluster, build_cluster
+from repro.cluster.cluster import CCT_SPEC, EC2_SPEC, build_cluster
 from repro.cluster.node import Node
 from repro.cluster.probes import (
     SummaryStats,
@@ -14,7 +14,6 @@ from repro.cluster.probes import (
     probe_report,
     traceroute_hop_histogram,
 )
-from repro.simulation.rng import RandomStreams
 
 
 class TestNode:

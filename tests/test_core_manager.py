@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.budget import ReplicationBudget
-from repro.core.config import DareConfig, Policy
+from repro.core.config import DareConfig
 from repro.core.manager import DareReplicationService
 from repro.hdfs.block import DEFAULT_BLOCK_SIZE
 from repro.simulation.rng import RandomStreams

@@ -6,7 +6,6 @@ import pytest
 from repro.core.config import DareConfig
 from repro.experiments.runner import ExperimentConfig, run_experiment
 from repro.failures.injector import FailurePlan
-from repro.mapreduce.jobtracker import DataLossError
 from repro.workloads.swim import synthesize_wl1
 from tests.conftest import SMALL_SPEC
 
@@ -62,8 +61,6 @@ class TestFailureRuns:
     def test_replication_factors_restored(self, wl):
         cfg = ExperimentConfig(cluster_spec=SMALL_SPEC, failures=((120.0, 3),))
         # re-run so we can inspect the namenode through the collector-free API
-        from repro.cluster.cluster import Cluster
-        from repro.simulation.rng import RandomStreams
 
         result = run_experiment(cfg, wl)
         # repairs completed >= blocks that were under-replicated and fixable

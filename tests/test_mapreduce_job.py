@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.hdfs.block import DEFAULT_BLOCK_SIZE
 from repro.mapreduce.job import Job, JobSpec
-from repro.mapreduce.task import Locality, TaskState
+from repro.mapreduce.task import Locality
 
 
 @pytest.fixture

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import DareConfig
 from repro.core.manager import DareReplicationService
-from repro.hdfs.block import DEFAULT_BLOCK_SIZE
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.jobtracker import JobTracker
 from repro.mapreduce.runtime import TaskTimeModel

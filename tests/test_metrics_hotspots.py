@@ -1,10 +1,9 @@
 """Unit tests: compute-side hotspot analysis."""
 
-import numpy as np
 import pytest
 
 from repro.metrics.collector import MapRecord
-from repro.metrics.hotspots import HotspotSummary, load_timeline, summarize_hotspots
+from repro.metrics.hotspots import load_timeline, summarize_hotspots
 
 
 def rec(node, start, duration, job=0):

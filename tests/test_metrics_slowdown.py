@@ -1,6 +1,5 @@
 """Unit tests: the slowdown metric and its dedicated-cluster wave model."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,193 @@
+"""Unit tests: the sampling callback profiler."""
+
+import pytest
+
+from repro.observability.profiling import (
+    N_BINS,
+    UNLABELED,
+    CallbackProfiler,
+    bucket_of,
+)
+from repro.simulation.engine import Engine
+from repro.simulation.events import Event
+
+
+def _event(label="", action=None):
+    return Event(0.0, 0, action or (lambda: None), label)
+
+
+class FakeClock:
+    """Deterministic perf_counter: each call advances by the next delta."""
+
+    def __init__(self, step_s):
+        self.step_s = step_s
+        self.t = 0.0
+        self.ticks = 0
+
+    def __call__(self):
+        # observe() calls the clock twice per sample; advance on the stop call
+        if self.ticks % 2:
+            self.t += self.step_s
+        self.ticks += 1
+        return self.t
+
+
+class TestBucketOf:
+    def test_prefix_before_colon(self):
+        assert bucket_of("hb:node07") == "hb"
+        assert bucket_of("hb:node13") == "hb"
+
+    def test_no_colon_is_whole_label(self):
+        assert bucket_of("submit") == "submit"
+
+    def test_empty_label(self):
+        assert bucket_of("") == UNLABELED
+
+
+class TestSampling:
+    def test_samples_every_nth(self):
+        prof = CallbackProfiler(sample_every=5, clock=FakeClock(1e-6))
+        for _ in range(20):
+            prof.observe(_event("x"))
+        assert prof.events_seen == 20
+        assert prof.samples == 4  # events 1, 6, 11, 16
+
+    def test_every_1_samples_all(self):
+        prof = CallbackProfiler(sample_every=1, clock=FakeClock(1e-6))
+        for _ in range(10):
+            prof.observe(_event("x"))
+        assert prof.samples == 10
+
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CallbackProfiler(sample_every=0)
+
+    def test_action_runs_for_unsampled_events(self):
+        calls = []
+        prof = CallbackProfiler(sample_every=100, clock=FakeClock(1e-6))
+        for i in range(10):
+            prof.observe(_event("x", lambda i=i: calls.append(i)))
+        assert calls == list(range(10))
+
+
+class TestAggregation:
+    def test_labels_collapse_into_buckets(self):
+        prof = CallbackProfiler(sample_every=1, clock=FakeClock(2e-6))
+        for node in range(4):
+            prof.observe(_event(f"hb:node{node}"))
+        prof.observe(_event("submit"))
+        rows = {r.bucket: r for r in prof.report()}
+        assert set(rows) == {"hb", "submit"}
+        assert rows["hb"].samples == 4
+
+    def test_shares_sum_to_one(self):
+        prof = CallbackProfiler(sample_every=1, clock=FakeClock(1e-6))
+        for label in ("a", "b", "c", "a"):
+            prof.observe(_event(label))
+        assert sum(r.share for r in prof.report()) == pytest.approx(1.0)
+
+    def test_report_sorted_hottest_first(self):
+        clock = FakeClock(1e-6)
+        prof = CallbackProfiler(sample_every=1, clock=clock)
+        clock.step_s = 1e-6
+        prof.observe(_event("cheap"))
+        clock.step_s = 1e-3
+        prof.observe(_event("dear"))
+        rows = prof.report()
+        assert [r.bucket for r in rows] == ["dear", "cheap"]
+
+    def test_histogram_binning(self):
+        # 2µs lands in bin 2 ([2, 4) µs)
+        prof = CallbackProfiler(sample_every=1, clock=FakeClock(2e-6))
+        prof.observe(_event("x"))
+        (row,) = prof.report()
+        assert len(row.histogram) == N_BINS
+        assert row.histogram[2] == 1
+        assert sum(row.histogram) == 1
+
+    def test_percentiles_bound_the_samples(self):
+        prof = CallbackProfiler(sample_every=1, clock=FakeClock(3e-6))
+        for _ in range(10):
+            prof.observe(_event("x"))
+        (row,) = prof.report()
+        # all samples are 3µs; upper-bound estimate from bin [2,4)µs is 4µs
+        assert row.p50_us == row.p95_us == 4.0
+        assert row.max_us == pytest.approx(3.0)
+
+    def test_top_limits_rows(self):
+        prof = CallbackProfiler(sample_every=1, clock=FakeClock(1e-6))
+        for label in "abcdef":
+            prof.observe(_event(label))
+        assert len(prof.report(top=3)) == 3
+
+
+class TestReporting:
+    def test_format_report_empty(self):
+        assert "no callbacks" in CallbackProfiler().format_report()
+
+    def test_format_report_mentions_buckets(self):
+        prof = CallbackProfiler(sample_every=1, clock=FakeClock(1e-6))
+        prof.observe(_event("hb:n1"))
+        text = prof.format_report()
+        assert "hb" in text
+        assert "1 sampled" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        prof = CallbackProfiler(sample_every=1, clock=FakeClock(1e-6))
+        prof.observe(_event("hb:n1"))
+        doc = json.loads(json.dumps(prof.to_dict()))
+        assert doc["samples"] == 1
+        assert doc["buckets"][0]["bucket"] == "hb"
+
+
+class TestEngineIntegration:
+    def test_profiler_attaches_to_engine(self):
+        engine = Engine()
+        prof = CallbackProfiler(sample_every=1)
+        engine.profiler = prof
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50:
+                engine.schedule_in(1.0, tick, f"tick:{count[0]}")
+
+        engine.schedule(0.0, tick, "tick:0")
+        engine.run()
+        assert count[0] == 50
+        assert prof.events_seen == 50
+        assert prof.samples == 50
+        assert prof.report()[0].bucket == "tick"
+
+    def test_disabled_profiler_is_detached(self):
+        engine = Engine()
+        prof = CallbackProfiler()
+        prof.enabled = False
+        engine.profiler = prof
+        engine.schedule(0.0, lambda: None)
+        engine.run()
+        assert prof.events_seen == 0
+
+    def test_profiled_run_preserves_event_order(self):
+        def run(profiled):
+            engine = Engine()
+            if profiled:
+                engine.profiler = CallbackProfiler(sample_every=3)
+            order = []
+            count = [0]
+
+            def tick():
+                count[0] += 1
+                order.append((engine.now, count[0]))
+                if count[0] < 100:
+                    engine.schedule_in(0.5, tick)
+                    if count[0] % 4 == 0:
+                        engine.cancel(engine.schedule_in(0.25, tick))
+
+            engine.schedule(0.0, tick)
+            engine.run()
+            return order
+
+        assert run(profiled=False) == run(profiled=True)

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.analysis.patterns import _smallest_window
 from repro.core.elephant_trap import ElephantTrapPolicy
 from repro.core.greedy import GreedyLRUPolicy
-from repro.hdfs.block import Block
 from repro.hdfs.inode import INode
 from repro.simulation.engine import Engine
 from repro.simulation.events import EventQueue

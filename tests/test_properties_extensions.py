@@ -3,7 +3,6 @@
 import random
 from collections import Counter
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

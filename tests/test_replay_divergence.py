@@ -3,13 +3,12 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.cluster.cluster import CCT_SPEC
 from repro.core.config import DareConfig
 from repro.experiments.runner import ExperimentConfig, run_experiment
 from repro.observability.trace import RUN_CONFIG, TASK_SCHEDULED, TraceRecord
-from repro.replay import diff_traces, first_divergence, load_trace, read_trace
+from repro.replay import diff_traces, first_divergence, read_trace
 from repro.replay.divergence import META_TYPES
 from repro.workloads.swim import synthesize_wl1
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulation.events import Event, EventQueue
+from repro.simulation.events import COMPACT_MIN_CANCELLED, Event, EventQueue
 
 
 def _noop():
@@ -88,3 +88,112 @@ class TestEventQueue:
         q.clear()
         assert q.pop() is None
         assert len(q) == 0
+
+
+class TestCompaction:
+    """Cancel-heavy workloads must not let the heap accrete garbage."""
+
+    def test_heap_stays_bounded_under_cancel_churn(self):
+        # regression: speculative-execution-style churn (most scheduled
+        # events cancelled before firing) used to grow the heap without
+        # bound, degrading every subsequent push/pop
+        q = EventQueue()
+        for i in range(10_000):
+            ev = q.push(float(i), _noop)
+            if i % 8:  # cancel 7 of every 8
+                q.cancel(ev)
+        live = len(q)
+        assert live == 1250
+        # heap holds at most live + max(live, floor) entries
+        assert q.heap_size <= 2 * max(live, COMPACT_MIN_CANCELLED) + 1
+        assert q.compactions > 0
+
+    def test_compaction_preserves_pop_order(self):
+        q = EventQueue()
+        events = [q.push(float(i % 17), _noop, f"e{i}") for i in range(500)]
+        expected = []
+        for i, ev in enumerate(events):
+            if i % 3:
+                q.cancel(ev)
+            else:
+                expected.append(ev)
+        expected.sort(key=lambda e: (e.time, e.seq))
+        q.compact()  # force one more, on top of any automatic ones
+        popped = []
+        while q:
+            popped.append(q.pop())
+        assert [e.label for e in popped] == [e.label for e in expected]
+
+    def test_compaction_preserves_peek(self):
+        q = EventQueue()
+        keep = q.push(7.0, _noop, "keep")
+        for _ in range(COMPACT_MIN_CANCELLED + 1):
+            q.cancel(q.push(1.0, _noop))
+        assert q.peek_time() == 7.0
+        assert q.pop() is keep
+
+    def test_no_compaction_below_floor(self):
+        q = EventQueue()
+        for _ in range(COMPACT_MIN_CANCELLED - 1):
+            q.cancel(q.push(1.0, _noop))
+        assert q.compactions == 0
+        assert q.heap_size == COMPACT_MIN_CANCELLED - 1
+
+    def test_cancel_after_pop_does_not_corrupt_counters(self):
+        q = EventQueue()
+        ev = q.push(1.0, _noop)
+        q.push(2.0, _noop)
+        assert q.pop() is ev
+        q.cancel(ev)  # cancelling a fired event is a no-op
+        assert len(q) == 1
+        assert q.pop() is not None
+
+
+class TestRepush:
+    """Event reuse for periodic chains (heartbeats)."""
+
+    def test_repush_assigns_fresh_seq(self):
+        q = EventQueue()
+        ev = q.push(1.0, _noop, "hb")
+        other = q.push(1.0, _noop)
+        assert q.pop() is ev
+        q.repush(ev, 1.0)
+        # the re-armed event ties on time with `other` but was (re)pushed
+        # later, so it must pop after it — same as a fresh push would
+        assert q.pop() is other
+        assert q.pop() is ev
+
+    def test_repush_matches_fresh_push_seq_assignment(self):
+        q1, q2 = EventQueue(), EventQueue()
+        # chain A: reuse one event
+        ev = q1.push(0.0, _noop, "hb")
+        q1.pop()
+        q1.repush(ev, 1.0)
+        # chain B: allocate per period
+        q2.push(0.0, _noop, "hb")
+        q2.pop()
+        fresh = q2.push(1.0, _noop, "hb")
+        assert ev.seq == fresh.seq
+        assert ev.time == fresh.time
+
+    def test_repush_pending_event_rejected(self):
+        q = EventQueue()
+        ev = q.push(1.0, _noop)
+        with pytest.raises(ValueError):
+            q.repush(ev, 2.0)
+
+    def test_repush_cancelled_unfired_event_rejected(self):
+        q = EventQueue()
+        ev = q.push(1.0, _noop)
+        q.cancel(ev)
+        with pytest.raises(ValueError):
+            q.repush(ev, 2.0)
+
+    def test_repush_relabels_and_clears_flags(self):
+        q = EventQueue()
+        ev = q.push(1.0, _noop, "start")
+        q.pop()
+        q.repush(ev, 2.0, "steady")
+        assert ev.label == "steady"
+        assert not ev.fired and not ev.cancelled
+        assert q.pop() is ev

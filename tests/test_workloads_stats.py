@@ -5,7 +5,7 @@ import pytest
 
 from repro.mapreduce.job import JobSpec
 from repro.workloads.catalog import FileCatalog, FileSpec
-from repro.workloads.stats import WorkloadStats, _gini, compute_stats
+from repro.workloads.stats import _gini, compute_stats
 from repro.workloads.swim import Workload, synthesize_wl1, synthesize_wl2
 
 
