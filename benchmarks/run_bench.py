@@ -4,7 +4,7 @@ Measures the simulator's headline numbers — engine event throughput,
 cancel-churn cost, NameNode locality queries, the ElephantTrap update, and
 one timed end-to-end sweep cell — and writes them as JSON::
 
-    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_3.json
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_latest.json
     PYTHONPATH=src python benchmarks/run_bench.py --check benchmarks/baseline.json
 
 ``--check`` exits non-zero when any metric's wall time regresses more than
@@ -220,8 +220,9 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int,
                         default=int(os.environ.get("REPRO_BENCH_JOBS", "120")),
                         help="e2e cell trace length (default $REPRO_BENCH_JOBS or 120)")
-    parser.add_argument("--out", default="", metavar="PATH",
-                        help="write results JSON (e.g. BENCH_3.json)")
+    parser.add_argument("--out", default="BENCH_latest.json", metavar="PATH",
+                        help="write results JSON (default BENCH_latest.json; "
+                             "empty string skips the write)")
     parser.add_argument("--check", default="", metavar="BASELINE",
                         help="fail on > tolerance wall-time regression vs BASELINE")
     parser.add_argument("--write-baseline", default="", metavar="PATH",
@@ -234,7 +235,6 @@ def main(argv=None) -> int:
     results = collect(args.jobs)
 
     doc = {
-        "bench": 3,
         "generated_by": "benchmarks/run_bench.py",
         "n_jobs": args.jobs,
         "results": results,

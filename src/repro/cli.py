@@ -7,6 +7,7 @@ Four subcommands cover the library's workflows::
     python -m repro run --workload wl1 --scheduler fifo --policy et
     python -m repro synth --workload wl2 --jobs 300 --out wl2.json
     python -m repro figures --jobs 200 --only fig7,fig11
+    python -m repro sweep --grid all --jobs 4 --cache-dir .sweep-cache
     python -m repro replay verify trace.jsonl
     python -m repro replay diff lru.jsonl et.jsonl
     python -m repro perf --jobs 300 --scheduler fair --top 10
@@ -14,6 +15,11 @@ Four subcommands cover the library's workflows::
 ``run`` accepts built-in workload names (wl1/wl2), a saved workload JSON,
 or a SWIM-format TSV trace, and can inject node failures or enable the
 Scarlett baseline for comparisons.
+
+``sweep`` runs a named grid of experiment cells (figures, sensitivity
+sweeps, ablations) across worker processes, reusing previously computed
+cells from a content-addressed result cache; ``--shard K/M`` splits a
+grid across CI jobs.
 
 ``replay`` consumes the JSONL traces ``run --trace`` writes: ``summary``
 prints record counts and reconstructed headline stats, ``verify`` rebuilds
@@ -310,31 +316,121 @@ def cmd_synth(args: argparse.Namespace) -> int:
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures as F
     from repro.experiments.figures import print_fig7, print_sweep
+    from repro.experiments.sweep import ResultCache
 
     only = set(args.only.split(",")) if args.only else None
+    workers = args.workers
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
     def want(tag: str) -> bool:
         return only is None or tag in only
 
     if want("fig7"):
-        print_fig7(F.fig7_cct(n_jobs=args.jobs))
+        print_fig7(F.fig7_cct(n_jobs=args.jobs, jobs=workers, cache=cache))
     if want("fig8"):
-        print_sweep(F.fig8a_p_sweep(n_jobs=args.jobs), "p")
-        print_sweep(F.fig8b_threshold_sweep(n_jobs=args.jobs), "threshold")
+        print_sweep(F.fig8a_p_sweep(n_jobs=args.jobs, jobs=workers, cache=cache), "p")
+        print_sweep(
+            F.fig8b_threshold_sweep(n_jobs=args.jobs, jobs=workers, cache=cache),
+            "threshold",
+        )
     if want("fig9"):
-        print_sweep(F.fig9a_budget_sweep_lru(n_jobs=args.jobs), "budget")
+        print_sweep(
+            F.fig9a_budget_sweep_lru(n_jobs=args.jobs, jobs=workers, cache=cache),
+            "budget",
+        )
     if want("fig10"):
-        print_fig7(F.fig10_ec2(n_jobs=args.jobs), "Fig. 10 (EC2)")
+        print_fig7(
+            F.fig10_ec2(n_jobs=args.jobs, jobs=workers, cache=cache), "Fig. 10 (EC2)"
+        )
     if want("fig11"):
-        for pt in F.fig11_uniformity(n_jobs=args.jobs):
+        for pt in F.fig11_uniformity(n_jobs=args.jobs, jobs=workers, cache=cache):
             print(f"p={pt.p:.1f} cv {pt.cv_before:.3f} -> {pt.cv_after:.3f}")
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    import os
+
+    from repro.experiments import sweep as S
+    from repro.experiments.serialize import result_to_dict
+
+    try:
+        cells = S.build_grid(args.grid, n_jobs=args.n_jobs, seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.shard:
+        try:
+            cells = S.shard_cells(cells, args.shard)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    if args.check_invariants:
+        cells = [
+            c._replace(config=dataclasses.replace(c.config, check_invariants=True))
+            for c in cells
+        ]
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        cells = [
+            c._replace(config=dataclasses.replace(c.config, trace_path=os.path.join(
+                args.trace_dir, c.label().replace("/", "_") + ".jsonl")))
+            for c in cells
+        ]
+    cache = None if args.no_cache else S.ResultCache(args.cache_dir)
+    outcomes = S.run_cells(
+        cells,
+        jobs=args.jobs,
+        cache=cache,
+        timeout_s=args.timeout or None,
+        progress=S.print_progress,
+    )
+    n_failed = sum(1 for o in outcomes if not o.ok)
+    n_cached = sum(1 for o in outcomes if o.from_cache)
+    if cache is not None:
+        print(f"sweep: {len(outcomes)} cells, {n_cached} cached, "
+              f"{n_failed} failed ({cache.hits} cache hits, "
+              f"{cache.misses} misses, {cache.corrupt} corrupt)")
+    else:
+        print(f"sweep: {len(outcomes)} cells, {n_failed} failed (cache off)")
+    if args.out:
+        doc = {
+            "grid": args.grid,
+            "n_jobs": args.n_jobs,
+            "seed": args.seed,
+            "shard": args.shard,
+            "cells": [
+                {
+                    "tag": o.cell.tag,
+                    "x": o.cell.x,
+                    "key": o.key,
+                    "ok": o.ok,
+                    "from_cache": o.from_cache,
+                    "error": o.error,
+                    "result": None if o.result is None else result_to_dict(o.result),
+                }
+                for o in outcomes
+            ],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    for o in outcomes:
+        if not o.ok:
+            print(f"FAILED {o.cell.label()}:", file=sys.stderr)
+            print("  " + o.error.strip().replace("\n", "\n  "), file=sys.stderr)
+    return 1 if n_failed else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
+    from repro.experiments.sweep import ResultCache
 
-    paths = write_report(args.out, n_jobs=args.jobs, seed=args.seed)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    paths = write_report(
+        args.out, n_jobs=args.jobs, seed=args.seed, jobs=args.workers, cache=cache
+    )
     for kind, path in paths.items():
         print(f"wrote {kind}: {path}")
     return 0
@@ -451,6 +547,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figures", help="regenerate evaluation figures")
     p.add_argument("--jobs", type=int, default=200)
     p.add_argument("--only", default="", help="comma list: fig7,fig8,fig9,fig10,fig11")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes for the underlying sweep")
+    p.add_argument("--cache-dir", default="", metavar="DIR",
+                   help="reuse sweep results cached in DIR")
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("render", help="render every figure to SVG files")
@@ -459,10 +559,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="figures_svg")
     p.set_defaults(func=cmd_render)
 
+    p = sub.add_parser(
+        "sweep",
+        help="run an experiment grid across worker processes with a "
+             "content-addressed result cache",
+    )
+    p.add_argument("--grid", default="smoke",
+                   help="named grid: smoke, fig7, fig8, fig9, fig10, fig11, "
+                        "ablations, or all")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (1 = run in-process)")
+    p.add_argument("--n-jobs", type=int, default=200, metavar="N",
+                   help="workload length (jobs per trace) for every cell")
+    p.add_argument("--seed", type=int, default=20110926)
+    p.add_argument("--cache-dir", default=".sweep-cache", metavar="DIR",
+                   help="content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and don't write the result cache")
+    p.add_argument("--shard", default="", metavar="K/M",
+                   help="run only the Kth of M round-robin shards (1-based); "
+                        "the M shards partition the grid exactly")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="SECONDS",
+                   help="kill any cell exceeding this wall time (workers "
+                        "only; 0 = no limit)")
+    p.add_argument("--check-invariants", action="store_true",
+                   help="run every cell with cross-component invariant "
+                        "checks enabled")
+    p.add_argument("--trace-dir", default="", metavar="DIR",
+                   help="write one JSONL trace per cell into DIR (disables "
+                        "cache reads for those cells)")
+    p.add_argument("--out", default="", metavar="PATH",
+                   help="write all outcomes as a JSON document to PATH")
+    p.set_defaults(func=cmd_sweep)
+
     p = sub.add_parser("report", help="run everything; write results.json + REPORT.md")
     p.add_argument("--jobs", type=int, default=200)
     p.add_argument("--seed", type=int, default=20110926)
     p.add_argument("--out", default="results")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes for the underlying sweep")
+    p.add_argument("--cache-dir", default="", metavar="DIR",
+                   help="reuse sweep results cached in DIR")
     p.set_defaults(func=cmd_report)
 
     return parser

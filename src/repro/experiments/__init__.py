@@ -8,6 +8,11 @@ metric the paper reports.
 :mod:`repro.experiments.tables` and :mod:`repro.experiments.figures` hold
 one driver per evaluation table/figure; :mod:`repro.experiments.ablations`
 adds design-choice ablations beyond the paper.
+
+:mod:`repro.experiments.sweep` executes grids of experiment cells across
+worker processes with a content-addressed result cache; every figure and
+ablation driver runs on top of it (``jobs=``/``cache=`` keyword
+arguments), and ``repro sweep`` exposes it from the command line.
 """
 
 from repro.experiments.runner import (
@@ -21,6 +26,17 @@ from repro.experiments.tables import (
     fig1_hop_distribution,
     table1_rtt,
     table2_bandwidth,
+)
+from repro.experiments.sweep import (
+    CellOutcome,
+    ResultCache,
+    SweepCell,
+    SweepError,
+    WorkloadSpec,
+    build_grid,
+    cache_key,
+    results_of,
+    run_cells,
 )
 from repro.experiments.figures import (
     ET_CONFIG,
@@ -68,4 +84,13 @@ __all__ = [
     "fig9b_budget_sweep_et",
     "fig10_ec2",
     "fig11_uniformity",
+    "CellOutcome",
+    "ResultCache",
+    "SweepCell",
+    "SweepError",
+    "WorkloadSpec",
+    "build_grid",
+    "cache_key",
+    "results_of",
+    "run_cells",
 ]

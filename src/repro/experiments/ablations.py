@@ -10,19 +10,31 @@ These probe the design choices DESIGN.md calls out:
 * **delay sweep** — how the Fair scheduler's delay interacts with DARE;
 * **uniform replication baseline** — DARE vs simply raising every file's
   replication factor (the strawman Section II argues against).
+
+Every ablation builds :class:`~repro.experiments.sweep.SweepCell` lists
+and runs them through :func:`~repro.experiments.sweep.run_cells`, so all
+of them accept ``jobs``/``cache`` for parallel, cached execution and
+contribute their cells to ``repro sweep --grid ablations``.
 """
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.cluster import CCT_SPEC
 from repro.core.config import DareConfig, Policy
-from repro.experiments.runner import ExperimentConfig, run_experiment
-from repro.scheduling.fair import FairScheduler
-from repro.workloads.swim import synthesize_wl1, synthesize_wl2
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.sweep import (
+    ResultCache,
+    SweepCell,
+    WorkloadSpec,
+    dedupe_cells,
+    results_of,
+    run_cells,
+)
+from repro.workloads.swim import synthesize_wl1
 
 DEFAULT_SEED = 20110926
 
@@ -36,24 +48,45 @@ class WritesRow(NamedTuple):
     evictions: int
 
 
-def ablation_disk_writes(
+def ablation_disk_writes_cells(
     n_jobs: int = 500, seed: int = DEFAULT_SEED, scheduler: str = "fifo"
+) -> List[SweepCell]:
+    """Cells of the disk-write ablation: greedy LRU vs ElephantTrap."""
+    workload = WorkloadSpec("wl1", n_jobs, seed)
+    return [
+        SweepCell(
+            ExperimentConfig(
+                cluster_spec=CCT_SPEC, scheduler=scheduler, dare=dare, seed=seed
+            ),
+            workload,
+            tag=f"ablation-writes/{label}",
+        )
+        for label, dare in [
+            ("greedy-lru", DareConfig.greedy_lru(budget=0.2)),
+            ("elephant-trap", DareConfig.elephant_trap(p=0.3, threshold=1, budget=0.2)),
+        ]
+    ]
+
+
+def ablation_disk_writes(
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    scheduler: str = "fifo",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[WritesRow]:
     """ElephantTrap vs greedy LRU: locality per disk write (Section I)."""
-    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
-    rows = []
-    for label, dare in [
-        ("greedy-lru", DareConfig.greedy_lru(budget=0.2)),
-        ("elephant-trap", DareConfig.elephant_trap(p=0.3, threshold=1, budget=0.2)),
-    ]:
-        r = run_experiment(
-            ExperimentConfig(cluster_spec=CCT_SPEC, scheduler=scheduler, dare=dare, seed=seed),
-            workload,
+    cells = ablation_disk_writes_cells(n_jobs, seed, scheduler)
+    results = results_of(run_cells(cells, jobs=jobs, cache=cache))
+    return [
+        WritesRow(
+            c.tag.rsplit("/", 1)[1],
+            r.job_locality,
+            r.replication_disk_writes,
+            r.blocks_evicted,
         )
-        rows.append(
-            WritesRow(label, r.job_locality, r.replication_disk_writes, r.blocks_evicted)
-        )
-    return rows
+        for c, r in zip(cells, results)
+    ]
 
 
 class EvictionRow(NamedTuple):
@@ -65,29 +98,51 @@ class EvictionRow(NamedTuple):
     evictions: int
 
 
-def ablation_eviction_policy(
+def ablation_eviction_policy_cells(
     n_jobs: int = 500,
     seed: int = DEFAULT_SEED,
     budget: float = 0.2,
     scheduler: str = "fifo",
-) -> List[EvictionRow]:
-    """LRU vs LFU vs ElephantTrap under the same budget (wl2)."""
-    workload = synthesize_wl2(np.random.default_rng(seed), n_jobs=n_jobs)
+) -> List[SweepCell]:
+    """Cells of the eviction-policy ablation (LRU vs LFU vs ElephantTrap)."""
+    workload = WorkloadSpec("wl2", n_jobs, seed)
     configs = [
         ("greedy-lru", DareConfig(policy=Policy.GREEDY_LRU, budget=budget)),
         ("greedy-lfu", DareConfig(policy=Policy.GREEDY_LFU, budget=budget)),
         ("elephant-trap", DareConfig.elephant_trap(p=0.3, threshold=1, budget=budget)),
     ]
-    rows = []
-    for label, dare in configs:
-        r = run_experiment(
-            ExperimentConfig(cluster_spec=CCT_SPEC, scheduler=scheduler, dare=dare, seed=seed),
+    return [
+        SweepCell(
+            ExperimentConfig(
+                cluster_spec=CCT_SPEC, scheduler=scheduler, dare=dare, seed=seed
+            ),
             workload,
+            tag=f"ablation-eviction/{label}",
         )
-        rows.append(
-            EvictionRow(label, r.job_locality, r.blocks_created_per_job, r.blocks_evicted)
+        for label, dare in configs
+    ]
+
+
+def ablation_eviction_policy(
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    budget: float = 0.2,
+    scheduler: str = "fifo",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[EvictionRow]:
+    """LRU vs LFU vs ElephantTrap under the same budget (wl2)."""
+    cells = ablation_eviction_policy_cells(n_jobs, seed, budget, scheduler)
+    results = results_of(run_cells(cells, jobs=jobs, cache=cache))
+    return [
+        EvictionRow(
+            c.tag.rsplit("/", 1)[1],
+            r.job_locality,
+            r.blocks_created_per_job,
+            r.blocks_evicted,
         )
-    return rows
+        for c, r in zip(cells, results)
+    ]
 
 
 class BudgetBoundRow(NamedTuple):
@@ -98,24 +153,46 @@ class BudgetBoundRow(NamedTuple):
     extra_storage_fraction: float
 
 
-def ablation_unlimited_budget(
+def ablation_unlimited_budget_cells(
     n_jobs: int = 500, seed: int = DEFAULT_SEED
+) -> List[SweepCell]:
+    """Cells of the unlimited-budget ablation."""
+    workload = WorkloadSpec("wl1", n_jobs, seed)
+    return [
+        SweepCell(
+            ExperimentConfig(
+                cluster_spec=CCT_SPEC,
+                scheduler="fifo",
+                dare=DareConfig.elephant_trap(p=0.3, threshold=1, budget=budget),
+                seed=seed,
+            ),
+            workload,
+            tag=f"ablation-budget/{label}",
+        )
+        for label, budget in [("0.2", 0.2), ("unlimited", 100.0)]
+    ]
+
+
+def ablation_unlimited_budget(
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[BudgetBoundRow]:
     """How much locality the 20% budget leaves on the table (wl1, FIFO)."""
+    cells = ablation_unlimited_budget_cells(n_jobs, seed)
+    results = results_of(run_cells(cells, jobs=jobs, cache=cache))
+    # fraction of the 3x-replicated data set the dynamic replicas add
     workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+    dataset = sum(f.n_blocks for f in workload.catalog.files)
     rows = []
-    for label, budget in [("0.2", 0.2), ("unlimited", 100.0)]:
-        dare = DareConfig.elephant_trap(p=0.3, threshold=1, budget=budget)
-        r = run_experiment(
-            ExperimentConfig(cluster_spec=CCT_SPEC, scheduler="fifo", dare=dare, seed=seed),
-            workload,
-        )
-        # fraction of the 3x-replicated data set the dynamic replicas add
-        dataset = sum(
-            f.n_blocks for f in workload.catalog.files
-        )
+    for cell, r in zip(cells, results):
         live_dynamic = r.blocks_created - r.blocks_evicted
-        rows.append(BudgetBoundRow(label, r.job_locality, live_dynamic / (3 * dataset)))
+        rows.append(
+            BudgetBoundRow(
+                cell.tag.rsplit("/", 1)[1], r.job_locality, live_dynamic / (3 * dataset)
+            )
+        )
     return rows
 
 
@@ -129,46 +206,56 @@ class DelayRow(NamedTuple):
     dare_gmtt: float
 
 
+def ablation_delay_sweep_cells(
+    delays: Sequence[float] = (0.0, 0.5, 1.5, 3.0, 6.0),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+) -> List[SweepCell]:
+    """Cells of the delay sweep: (vanilla, DARE) per delay value.
+
+    The delay rides on ``ExperimentConfig.fair_delay_s``, so these cells
+    are hashable, cacheable, and runnable in worker processes like any
+    other (no scheduler-factory monkeypatching).
+    """
+    workload = WorkloadSpec("wl1", n_jobs, seed)
+    cells = []
+    for d in delays:
+        for label, dare in (("vanilla", DareConfig.off()),
+                            ("et", DareConfig.elephant_trap())):
+            cells.append(
+                SweepCell(
+                    ExperimentConfig(
+                        cluster_spec=CCT_SPEC,
+                        scheduler="fair",
+                        dare=dare,
+                        seed=seed,
+                        fair_delay_s=d,
+                    ),
+                    workload,
+                    tag=f"ablation-delay/d={d:g}/{label}",
+                    x=d,
+                )
+            )
+    return cells
+
+
 def ablation_delay_sweep(
     delays: Sequence[float] = (0.0, 0.5, 1.5, 3.0, 6.0),
     n_jobs: int = 500,
     seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[DelayRow]:
-    """Delay scheduling x DARE interaction (wl1).
-
-    Uses a custom scheduler factory per delay, exercising the same
-    experiment path as the headline figures.
-    """
-    from repro.experiments import runner as runner_mod
-
-    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+    """Delay scheduling x DARE interaction (wl1)."""
+    cells = ablation_delay_sweep_cells(delays, n_jobs, seed)
+    results = results_of(run_cells(cells, jobs=jobs, cache=cache))
     rows = []
-    original = runner_mod.make_scheduler
-    try:
-        for d in delays:
-            runner_mod.make_scheduler = (
-                lambda name, _d=d: FairScheduler(node_delay_s=_d, rack_delay_s=_d)
-                if name == "fair"
-                else original(name)
-            )
-            van = run_experiment(
-                ExperimentConfig(cluster_spec=CCT_SPEC, scheduler="fair", seed=seed),
-                workload,
-            )
-            dare = run_experiment(
-                ExperimentConfig(
-                    cluster_spec=CCT_SPEC,
-                    scheduler="fair",
-                    dare=DareConfig.elephant_trap(),
-                    seed=seed,
-                ),
-                workload,
-            )
-            rows.append(
-                DelayRow(d, van.job_locality, dare.job_locality, van.gmtt_s, dare.gmtt_s)
-            )
-    finally:
-        runner_mod.make_scheduler = original
+    for i in range(0, len(cells), 2):
+        van, dare = results[i], results[i + 1]
+        rows.append(
+            DelayRow(cells[i].x, van.job_locality, dare.job_locality,
+                     van.gmtt_s, dare.gmtt_s)
+        )
     return rows
 
 
@@ -187,11 +274,42 @@ class OversubRow(NamedTuple):
         return 1.0 - self.dare_gmtt / self.vanilla_gmtt
 
 
+def ablation_oversubscription_cells(
+    factors: Sequence[float] = (1.0, 2.5, 5.0),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    racks: int = 4,
+) -> List[SweepCell]:
+    """Cells of the oversubscription ablation: (vanilla, DARE) per factor."""
+    workload = WorkloadSpec("wl1", n_jobs, seed)
+    cells = []
+    for factor in factors:
+        spec = CCT_SPEC._replace(
+            dedicated_racks=racks,
+            network=CCT_SPEC.network._replace(cross_rack_factor=factor),
+        )
+        for label, dare in (("vanilla", DareConfig.off()),
+                            ("et", DareConfig.elephant_trap())):
+            cells.append(
+                SweepCell(
+                    ExperimentConfig(
+                        cluster_spec=spec, scheduler="fifo", dare=dare, seed=seed
+                    ),
+                    workload,
+                    tag=f"ablation-oversub/x{factor:g}/{label}",
+                    x=factor,
+                )
+            )
+    return cells
+
+
 def ablation_oversubscription(
     factors: Sequence[float] = (1.0, 2.5, 5.0),
     n_jobs: int = 500,
     seed: int = DEFAULT_SEED,
     racks: int = 4,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[OversubRow]:
     """DARE's value grows with fabric oversubscription (Section V-B).
 
@@ -200,27 +318,14 @@ def ablation_oversubscription(
     oversubscribed, especially across racks").  The more oversubscribed the
     fabric, the more each avoided remote read is worth.
     """
-    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+    cells = ablation_oversubscription_cells(factors, n_jobs, seed, racks)
+    results = results_of(run_cells(cells, jobs=jobs, cache=cache))
     rows = []
-    for factor in factors:
-        spec = CCT_SPEC._replace(
-            dedicated_racks=racks,
-            network=CCT_SPEC.network._replace(cross_rack_factor=factor),
-        )
-        van = run_experiment(
-            ExperimentConfig(cluster_spec=spec, scheduler="fifo", seed=seed), workload
-        )
-        dare = run_experiment(
-            ExperimentConfig(
-                cluster_spec=spec,
-                scheduler="fifo",
-                dare=DareConfig.elephant_trap(),
-                seed=seed,
-            ),
-            workload,
-        )
+    for i in range(0, len(cells), 2):
+        van, dare = results[i], results[i + 1]
         rows.append(
-            OversubRow(factor, van.job_locality, dare.job_locality, van.gmtt_s, dare.gmtt_s)
+            OversubRow(cells[i].x, van.job_locality, dare.job_locality,
+                       van.gmtt_s, dare.gmtt_s)
         )
     return rows
 
@@ -233,38 +338,77 @@ class UniformRow(NamedTuple):
     storage_blocks: int
 
 
+def ablation_uniform_replication_cells(
+    factors: Sequence[int] = (3, 4, 6, 8),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+) -> List[SweepCell]:
+    """Cells of the uniform-replication ablation: rf sweep plus DARE."""
+    workload = WorkloadSpec("wl1", n_jobs, seed)
+    cells = [
+        SweepCell(
+            ExperimentConfig(
+                cluster_spec=CCT_SPEC, scheduler="fifo", replication=k, seed=seed
+            ),
+            workload,
+            tag=f"ablation-uniform/rf={k}",
+            x=float(k),
+        )
+        for k in factors
+    ]
+    cells.append(
+        SweepCell(
+            ExperimentConfig(
+                cluster_spec=CCT_SPEC,
+                scheduler="fifo",
+                dare=DareConfig.elephant_trap(),
+                seed=seed,
+            ),
+            workload,
+            tag="ablation-uniform/dare",
+        )
+    )
+    return cells
+
+
 def ablation_uniform_replication(
     factors: Sequence[int] = (3, 4, 6, 8),
     n_jobs: int = 500,
     seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[UniformRow]:
     """DARE vs raising every file's replication factor (wl1, FIFO).
 
     The storage column shows why uniform replication is the wrong tool:
     it pays for replicas of data nobody reads.
     """
+    cells = ablation_uniform_replication_cells(factors, n_jobs, seed)
+    results = results_of(run_cells(cells, jobs=jobs, cache=cache))
     workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
     dataset_blocks = sum(f.n_blocks for f in workload.catalog.files)
     rows = []
-    for k in factors:
-        r = run_experiment(
-            ExperimentConfig(
-                cluster_spec=CCT_SPEC, scheduler="fifo", replication=k, seed=seed
-            ),
-            workload,
-        )
+    for k, r in zip(factors, results):
         rows.append(UniformRow(f"uniform rf={k}", r.job_locality, k * dataset_blocks))
-    r = run_experiment(
-        ExperimentConfig(
-            cluster_spec=CCT_SPEC,
-            scheduler="fifo",
-            dare=DareConfig.elephant_trap(),
-            seed=seed,
-        ),
-        workload,
-    )
-    live_dynamic = r.blocks_created - r.blocks_evicted
+    dare_result = results[-1]
+    live_dynamic = dare_result.blocks_created - dare_result.blocks_evicted
     rows.append(
-        UniformRow("DARE (rf=3 + budget 0.2)", r.job_locality, 3 * dataset_blocks + live_dynamic)
+        UniformRow(
+            "DARE (rf=3 + budget 0.2)",
+            dare_result.job_locality,
+            3 * dataset_blocks + live_dynamic,
+        )
     )
     return rows
+
+
+def ablation_cells(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> List[SweepCell]:
+    """Every ablation's cells, deduplicated, for ``repro sweep --grid``."""
+    return dedupe_cells(
+        ablation_disk_writes_cells(n_jobs, seed)
+        + ablation_eviction_policy_cells(n_jobs, seed)
+        + ablation_unlimited_budget_cells(n_jobs, seed)
+        + ablation_delay_sweep_cells(n_jobs=n_jobs, seed=seed)
+        + ablation_oversubscription_cells(n_jobs=n_jobs, seed=seed)
+        + ablation_uniform_replication_cells(n_jobs=n_jobs, seed=seed)
+    )

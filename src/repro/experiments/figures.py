@@ -21,7 +21,14 @@ from repro.analysis.patterns import (
 )
 from repro.cluster.cluster import CCT_SPEC, EC2_SPEC, ClusterSpec
 from repro.core.config import DareConfig
-from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentConfig, ExperimentResult
+from repro.experiments.sweep import (
+    ResultCache,
+    SweepCell,
+    WorkloadSpec,
+    results_of,
+    run_cells,
+)
 from repro.workloads.swim import Workload, synthesize_wl1, synthesize_wl2
 
 #: seed used throughout the reproduction
@@ -128,22 +135,33 @@ class Fig7Cell(NamedTuple):
     results: Dict[str, ExperimentResult]
 
 
-def _run_cell(
+def _policy_cells(
     cluster_spec: ClusterSpec,
     scheduler: str,
-    workload: Workload,
+    workload: WorkloadSpec,
     seed: int,
-) -> Fig7Cell:
-    results: Dict[str, ExperimentResult] = {}
-    for label, dare in zip(POLICY_LABELS, _POLICIES):
-        cfg = ExperimentConfig(
-            cluster_spec=cluster_spec, scheduler=scheduler, dare=dare, seed=seed
+    grid: str,
+) -> List[SweepCell]:
+    """One bar group's cells: the three policies of one scheduler x workload."""
+    return [
+        SweepCell(
+            ExperimentConfig(
+                cluster_spec=cluster_spec, scheduler=scheduler, dare=dare, seed=seed
+            ),
+            workload,
+            tag=f"{grid}/{workload.kind}/{scheduler}/{label}",
         )
-        results[label] = run_experiment(cfg, workload)
+        for label, dare in zip(POLICY_LABELS, _POLICIES)
+    ]
+
+
+def _assemble_cell(
+    scheduler: str, workload_name: str, results: Dict[str, ExperimentResult]
+) -> Fig7Cell:
     base = results["vanilla"]
     return Fig7Cell(
         scheduler=scheduler,
-        workload=workload.name,
+        workload=workload_name,
         locality={k: r.job_locality for k, r in results.items()},
         gmtt_normalized={k: r.gmtt_s / base.gmtt_s for k, r in results.items()},
         slowdown={k: r.slowdown for k, r in results.items()},
@@ -154,23 +172,65 @@ def _run_cell(
     )
 
 
-def fig7_cct(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> List[Fig7Cell]:
-    """The 20-node CCT experiments (Fig. 7a-c): FIFO/Fair x wl1/wl2."""
+def _run_policy_grid(
+    cells: List[SweepCell], jobs: int, cache: Optional[ResultCache]
+) -> List[Fig7Cell]:
+    """Run bar-group cells (built by :func:`_policy_cells`, POLICY_LABELS
+    per group, group order preserved) and fold them into Fig7Cells."""
+    results = results_of(run_cells(cells, jobs=jobs, cache=cache))
+    out = []
+    for start in range(0, len(cells), len(POLICY_LABELS)):
+        group = {
+            label: results[start + k] for k, label in enumerate(POLICY_LABELS)
+        }
+        cell = cells[start]
+        out.append(
+            _assemble_cell(cell.config.scheduler, cell.workload.kind, group)
+        )
+    return out
+
+
+def fig7_cells(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> List[SweepCell]:
+    """The 12 cells behind Fig. 7: wl1/wl2 x FIFO/Fair x three policies."""
     cells = []
     for wl_name in ("wl1", "wl2"):
-        workload = _wl(wl_name, n_jobs, seed)
+        workload = WorkloadSpec(wl_name, n_jobs, seed)
         for scheduler in ("fifo", "fair"):
-            cells.append(_run_cell(CCT_SPEC, scheduler, workload, seed))
+            cells.extend(_policy_cells(CCT_SPEC, scheduler, workload, seed, "fig7"))
     return cells
 
 
-def fig10_ec2(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> List[Fig7Cell]:
+def fig7_cct(
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[Fig7Cell]:
+    """The 20-node CCT experiments (Fig. 7a-c): FIFO/Fair x wl1/wl2.
+
+    ``jobs``/``cache`` fan the cells out over worker processes and the
+    sweep result cache; results are identical to the serial default.
+    """
+    return _run_policy_grid(fig7_cells(n_jobs, seed), jobs, cache)
+
+
+def fig10_cells(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> List[SweepCell]:
+    """The 6 cells behind Fig. 10: wl1 on EC2 x FIFO/Fair x three policies."""
+    workload = WorkloadSpec("wl1", n_jobs, seed)
+    cells = []
+    for scheduler in ("fifo", "fair"):
+        cells.extend(_policy_cells(EC2_SPEC, scheduler, workload, seed, "fig10"))
+    return cells
+
+
+def fig10_ec2(
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[Fig7Cell]:
     """The 100-node EC2 experiments (Fig. 10a-c): FIFO/Fair on wl1."""
-    workload = _wl("wl1", n_jobs, seed)
-    return [
-        _run_cell(EC2_SPEC, scheduler, workload, seed)
-        for scheduler in ("fifo", "fair")
-    ]
+    return _run_policy_grid(fig10_cells(n_jobs, seed), jobs, cache)
 
 
 def print_fig7(cells: List[Fig7Cell], title: str = "Fig. 7 (20-node CCT)") -> None:
@@ -205,33 +265,45 @@ class SweepPoint(NamedTuple):
     blocks_per_job: float
 
 
-def _sweep(
-    workload: Workload,
+def _sweep_cells(
+    grid: str,
+    workload: WorkloadSpec,
     schedulers: Sequence[str],
     configs: Sequence[Tuple[float, DareConfig]],
     seed: int,
     cluster_spec: ClusterSpec = CCT_SPEC,
-) -> List[SweepPoint]:
-    points = []
-    for scheduler in schedulers:
-        for x, dare in configs:
-            cfg = ExperimentConfig(
+) -> List[SweepCell]:
+    """Sensitivity-sweep cells: scheduler x x-value, x carried on the cell."""
+    return [
+        SweepCell(
+            ExperimentConfig(
                 cluster_spec=cluster_spec, scheduler=scheduler, dare=dare, seed=seed
-            )
-            r = run_experiment(cfg, workload)
-            points.append(
-                SweepPoint(x, scheduler, r.job_locality, r.blocks_created_per_job)
-            )
-    return points
+            ),
+            workload,
+            tag=f"{grid}/{workload.kind}/{scheduler}/x={x:g}",
+            x=x,
+        )
+        for scheduler in schedulers
+        for x, dare in configs
+    ]
 
 
-def fig8a_p_sweep(
+def _run_sweep(
+    cells: List[SweepCell], jobs: int, cache: Optional[ResultCache]
+) -> List[SweepPoint]:
+    results = results_of(run_cells(cells, jobs=jobs, cache=cache))
+    return [
+        SweepPoint(c.x, c.config.scheduler, r.job_locality, r.blocks_created_per_job)
+        for c, r in zip(cells, results)
+    ]
+
+
+def fig8a_cells(
     p_values: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
     n_jobs: int = 500,
     seed: int = DEFAULT_SEED,
-) -> List[SweepPoint]:
-    """Locality and blocks/job vs ElephantTrap p (threshold=1, budget=0.2)."""
-    workload = _wl("wl2", n_jobs, seed)
+) -> List[SweepCell]:
+    """Cells of the ElephantTrap p sweep (Fig. 8a)."""
     configs = [
         (
             p,
@@ -241,7 +313,36 @@ def fig8a_p_sweep(
         )
         for p in p_values
     ]
-    return _sweep(workload, ("fifo", "fair"), configs, seed)
+    return _sweep_cells(
+        "fig8a", WorkloadSpec("wl2", n_jobs, seed), ("fifo", "fair"), configs, seed
+    )
+
+
+def fig8a_p_sweep(
+    p_values: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[SweepPoint]:
+    """Locality and blocks/job vs ElephantTrap p (threshold=1, budget=0.2)."""
+    return _run_sweep(fig8a_cells(p_values, n_jobs, seed), jobs, cache)
+
+
+def fig8b_cells(
+    thresholds: Sequence[int] = (1, 2, 3, 4, 5),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+    budget: float = 0.5,
+) -> List[SweepCell]:
+    """Cells of the aging-threshold sweep (Fig. 8b)."""
+    configs = [
+        (float(t), DareConfig.elephant_trap(p=0.9, threshold=t, budget=budget))
+        for t in thresholds
+    ]
+    return _sweep_cells(
+        "fig8b", WorkloadSpec("wl2", n_jobs, seed), ("fifo", "fair"), configs, seed
+    )
 
 
 def fig8b_threshold_sweep(
@@ -249,6 +350,8 @@ def fig8b_threshold_sweep(
     n_jobs: int = 500,
     seed: int = DEFAULT_SEED,
     budget: float = 0.5,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[SweepPoint]:
     """Locality and blocks/job vs aging threshold (p=0.9; the paper's
     caption uses budget=0.5).
@@ -259,26 +362,64 @@ def fig8b_threshold_sweep(
     ``budget`` (e.g. 0.1) to surface the mechanism the paper describes:
     higher thresholds evict slightly too eagerly, costing a little
     locality while creating slightly more replicas."""
-    workload = _wl("wl2", n_jobs, seed)
+    return _run_sweep(fig8b_cells(thresholds, n_jobs, seed, budget), jobs, cache)
+
+
+def fig9a_cells(
+    budgets: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+) -> List[SweepCell]:
+    """Cells of the greedy-LRU budget sweep (Fig. 9a)."""
     configs = [
-        (float(t), DareConfig.elephant_trap(p=0.9, threshold=t, budget=budget))
-        for t in thresholds
+        (b, DareConfig.off() if b == 0.0 else DareConfig.greedy_lru(budget=b))
+        for b in budgets
     ]
-    return _sweep(workload, ("fifo", "fair"), configs, seed)
+    return _sweep_cells(
+        "fig9a", WorkloadSpec("wl2", n_jobs, seed), ("fifo", "fair"), configs, seed
+    )
 
 
 def fig9a_budget_sweep_lru(
     budgets: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
     n_jobs: int = 500,
     seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[SweepPoint]:
     """Locality and blocks/job vs budget under greedy LRU (Fig. 9a)."""
-    workload = _wl("wl2", n_jobs, seed)
+    return _run_sweep(fig9a_cells(budgets, n_jobs, seed), jobs, cache)
+
+
+def _fig9b_cells_for_p(
+    p: float, budgets: Sequence[float], n_jobs: int, seed: int
+) -> List[SweepCell]:
     configs = [
-        (b, DareConfig.off() if b == 0.0 else DareConfig.greedy_lru(budget=b))
+        (
+            b,
+            DareConfig.off()
+            if b == 0.0
+            else DareConfig.elephant_trap(p=p, threshold=1, budget=b),
+        )
         for b in budgets
     ]
-    return _sweep(workload, ("fifo", "fair"), configs, seed)
+    return _sweep_cells(
+        f"fig9b/p={p:g}", WorkloadSpec("wl2", n_jobs, seed),
+        ("fifo", "fair"), configs, seed,
+    )
+
+
+def fig9b_cells(
+    budgets: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    p_values: Sequence[float] = (0.3, 0.9),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+) -> List[SweepCell]:
+    """Cells of the ElephantTrap budget sweep (Fig. 9b), all p values."""
+    cells: List[SweepCell] = []
+    for p in p_values:
+        cells.extend(_fig9b_cells_for_p(p, budgets, n_jobs, seed))
+    return cells
 
 
 def fig9b_budget_sweep_et(
@@ -286,22 +427,14 @@ def fig9b_budget_sweep_et(
     p_values: Sequence[float] = (0.3, 0.9),
     n_jobs: int = 500,
     seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[float, List[SweepPoint]]:
     """Locality and blocks/job vs budget under ElephantTrap (Fig. 9b)."""
-    workload = _wl("wl2", n_jobs, seed)
-    out = {}
-    for p in p_values:
-        configs = [
-            (
-                b,
-                DareConfig.off()
-                if b == 0.0
-                else DareConfig.elephant_trap(p=p, threshold=1, budget=b),
-            )
-            for b in budgets
-        ]
-        out[p] = _sweep(workload, ("fifo", "fair"), configs, seed)
-    return out
+    return {
+        p: _run_sweep(_fig9b_cells_for_p(p, budgets, n_jobs, seed), jobs, cache)
+        for p in p_values
+    }
 
 
 def sweep_point_from_trace(path: str, x: Optional[float] = None) -> SweepPoint:
@@ -362,23 +495,36 @@ class Fig11Point(NamedTuple):
     cv_after: float
 
 
+def fig11_cells(
+    p_values: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    n_jobs: int = 500,
+    seed: int = DEFAULT_SEED,
+) -> List[SweepCell]:
+    """Cells of the placement-uniformity sweep (Fig. 11)."""
+    configs = [
+        (
+            p,
+            DareConfig.off()
+            if p == 0.0
+            else DareConfig.elephant_trap(p=p, threshold=1, budget=0.2),
+        )
+        for p in p_values
+    ]
+    return _sweep_cells(
+        "fig11", WorkloadSpec("wl1", n_jobs, seed), ("fifo",), configs, seed
+    )
+
+
 def fig11_uniformity(
     p_values: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
     n_jobs: int = 500,
     seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Fig11Point]:
     """cv of popularity indices vs p (wl1, FIFO, budget=0.2, threshold=1)."""
-    workload = _wl("wl1", n_jobs, seed)
-    points = []
-    for p in p_values:
-        dare = (
-            DareConfig.off()
-            if p == 0.0
-            else DareConfig.elephant_trap(p=p, threshold=1, budget=0.2)
-        )
-        cfg = ExperimentConfig(
-            cluster_spec=CCT_SPEC, scheduler="fifo", dare=dare, seed=seed
-        )
-        r = run_experiment(cfg, workload)
-        points.append(Fig11Point(p, r.cv_before, r.cv_after))
-    return points
+    cells = fig11_cells(p_values, n_jobs, seed)
+    results = results_of(run_cells(cells, jobs=jobs, cache=cache))
+    return [
+        Fig11Point(c.x, r.cv_before, r.cv_after) for c, r in zip(cells, results)
+    ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.experiments.ablations import (
     ablation_disk_writes,
     ablation_oversubscription,
 )
+from repro.experiments.sweep import ResultCache
 from repro.experiments.tables import (
     bandwidth_ratios,
     fig1_hop_distribution,
@@ -32,8 +33,17 @@ def _stats(s) -> Dict[str, float]:
     return {"min": s.min, "mean": s.mean, "max": s.max, "std": s.std}
 
 
-def collect_results(n_jobs: int = 500, seed: int = drivers.DEFAULT_SEED) -> Dict:
-    """Run the whole evaluation once; returns a JSON-serializable tree."""
+def collect_results(
+    n_jobs: int = 500,
+    seed: int = drivers.DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Dict:
+    """Run the whole evaluation once; returns a JSON-serializable tree.
+
+    ``jobs`` worker processes and an optional sweep result ``cache`` are
+    threaded through every figure/ablation driver.
+    """
     out: Dict = {"scale": {"n_jobs": n_jobs, "seed": seed}}
 
     out["table1_rtt_ms"] = {r.cluster: _stats(r.stats) for r in table1_rtt(seed)}
@@ -85,31 +95,38 @@ def collect_results(n_jobs: int = 500, seed: int = drivers.DEFAULT_SEED) -> Dict
             for c in cells
         ]
 
-    out["fig7_cct"] = cells_dict(drivers.fig7_cct(n_jobs, seed))
-    out["fig10_ec2"] = cells_dict(drivers.fig10_ec2(n_jobs, seed))
+    out["fig7_cct"] = cells_dict(drivers.fig7_cct(n_jobs, seed, jobs=jobs, cache=cache))
+    out["fig10_ec2"] = cells_dict(drivers.fig10_ec2(n_jobs, seed, jobs=jobs, cache=cache))
 
     def sweep_dict(points) -> List[Dict]:
         return [p._asdict() for p in points]
 
-    out["fig8a_p_sweep"] = sweep_dict(drivers.fig8a_p_sweep(n_jobs=n_jobs, seed=seed))
+    out["fig8a_p_sweep"] = sweep_dict(
+        drivers.fig8a_p_sweep(n_jobs=n_jobs, seed=seed, jobs=jobs, cache=cache)
+    )
     out["fig8b_threshold_sweep"] = sweep_dict(
-        drivers.fig8b_threshold_sweep(n_jobs=n_jobs, seed=seed)
+        drivers.fig8b_threshold_sweep(n_jobs=n_jobs, seed=seed, jobs=jobs, cache=cache)
     )
     out["fig9a_budget_lru"] = sweep_dict(
-        drivers.fig9a_budget_sweep_lru(n_jobs=n_jobs, seed=seed)
+        drivers.fig9a_budget_sweep_lru(n_jobs=n_jobs, seed=seed, jobs=jobs, cache=cache)
     )
     out["fig9b_budget_et"] = {
         str(p): sweep_dict(points)
-        for p, points in drivers.fig9b_budget_sweep_et(n_jobs=n_jobs, seed=seed).items()
+        for p, points in drivers.fig9b_budget_sweep_et(
+            n_jobs=n_jobs, seed=seed, jobs=jobs, cache=cache
+        ).items()
     }
     out["fig11_uniformity"] = [
-        p._asdict() for p in drivers.fig11_uniformity(n_jobs=n_jobs, seed=seed)
+        p._asdict()
+        for p in drivers.fig11_uniformity(n_jobs=n_jobs, seed=seed, jobs=jobs, cache=cache)
     ]
     out["ablation_disk_writes"] = [
-        r._asdict() for r in ablation_disk_writes(n_jobs=n_jobs, seed=seed)
+        r._asdict()
+        for r in ablation_disk_writes(n_jobs=n_jobs, seed=seed, jobs=jobs, cache=cache)
     ]
     out["ablation_oversubscription"] = [
-        r._asdict() for r in ablation_oversubscription(n_jobs=n_jobs, seed=seed)
+        r._asdict()
+        for r in ablation_oversubscription(n_jobs=n_jobs, seed=seed, jobs=jobs, cache=cache)
     ]
     return out
 
@@ -205,11 +222,13 @@ def write_report(
     out_dir: Union[str, Path],
     n_jobs: int = 500,
     seed: int = drivers.DEFAULT_SEED,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, Path]:
     """Run everything and write results.json + REPORT.md into ``out_dir``."""
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    results = collect_results(n_jobs, seed)
+    results = collect_results(n_jobs, seed, jobs=jobs, cache=cache)
     json_path = out / "results.json"
     md_path = out / "REPORT.md"
     json_path.write_text(json.dumps(results, indent=1, sort_keys=True))

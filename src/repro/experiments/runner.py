@@ -40,11 +40,21 @@ from repro.simulation.rng import RandomStreams
 from repro.workloads.swim import Workload
 
 
-def make_scheduler(name: str) -> Scheduler:
-    """Scheduler factory: 'fifo', 'fair', or 'fair-skip'."""
+def make_scheduler(name: str, fair_delay_s: Optional[float] = None) -> Scheduler:
+    """Scheduler factory: 'fifo', 'fair', or 'fair-skip'.
+
+    ``fair_delay_s`` overrides both of the Fair scheduler's delays (the
+    delay-sweep ablation); it is part of :class:`ExperimentConfig` so a
+    delay-sweep cell is fully described by its config and can be hashed,
+    cached, and run in a worker process.
+    """
+    if fair_delay_s is not None and name != "fair":
+        raise ValueError(f"fair_delay_s only applies to 'fair', not {name!r}")
     if name == "fifo":
         return FifoScheduler()
     if name == "fair":
+        if fair_delay_s is not None:
+            return FairScheduler(node_delay_s=fair_delay_s, rack_delay_s=fair_delay_s)
         return FairScheduler()
     if name == "fair-skip":
         return SkipCountFairScheduler()
@@ -74,6 +84,9 @@ class ExperimentConfig:
     failure_detection_s: float = 10.0
     #: enable Hadoop-style speculative execution of straggler maps
     speculative: bool = False
+    #: override both Fair-scheduler delays (None = scheduler defaults);
+    #: config-level so delay-sweep cells are hashable and cacheable
+    fair_delay_s: Optional[float] = None
     #: write a JSONL trace of the run to this path (empty = no trace file)
     trace_path: str = ""
     #: also record the per-callback ``engine.event`` firehose (huge traces,
@@ -284,7 +297,7 @@ def _run(
     cv_before = coefficient_of_variation(popularity_indices(namenode, access_counts))
 
     dare = DareReplicationService(config.dare, namenode, streams, tracer=tracer)
-    scheduler = make_scheduler(config.scheduler)
+    scheduler = make_scheduler(config.scheduler, config.fair_delay_s)
     time_model = TaskTimeModel(cluster, namenode, streams.python("runtime.sources"))
     collector = collector or MetricsCollector()
     traffic = TrafficMeter()

@@ -1,0 +1,557 @@
+"""Parallel sweep executor with a content-addressed result cache.
+
+The paper's evaluation is a large grid of independent ``run_experiment``
+cells (figures 7-11, the sensitivity sweeps, the ablations).  Each cell
+is deterministic given its :class:`~repro.experiments.runner.ExperimentConfig`
+and workload spec, which makes the grid embarrassingly parallel *and*
+perfectly cacheable:
+
+* :func:`run_cells` fans cells out over worker processes (``jobs > 1``)
+  or runs them in-process (``jobs == 1``, the byte-identical serial
+  path).  Every worker derives all randomness from the cell's own seeds,
+  so results do not depend on worker count, scheduling order, or cache
+  state.
+* :class:`ResultCache` stores each result under a SHA-256 of the cell's
+  canonical identity — config + workload spec + ``CACHE_VERSION`` (a
+  code-relevant version tag, bumped whenever a simulator change is
+  allowed to move results).  Corrupted or truncated entries are treated
+  as misses and re-run.  Config fields that cannot change the serialized
+  result (``trace_path``, profiler settings) are excluded from the key;
+  cells that request a trace file bypass cache *reads* so the trace is
+  actually written.
+* A worker that raises reports the cell failed with its traceback; a
+  worker that *dies* (signal, hard crash) is retried once and then
+  marked failed with its exit code — either way the rest of the sweep
+  keeps going.  ``timeout_s`` bounds each cell's wall time; a timed-out
+  worker is terminated and the cell marked failed.
+* :func:`shard_cells` splits a cell list into ``K/M`` round-robin
+  shards for CI fan-out; the M shards partition the grid exactly.
+
+``python -m repro sweep`` exposes all of this on the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing as mp
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.experiments.serialize import (
+    canonical_json,
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.workloads.swim import Workload
+
+#: the code-relevant version tag mixed into every cache key.  Bump this
+#: whenever a simulator change is *allowed* to alter experiment results;
+#: stale entries then simply never match again.
+CACHE_VERSION = 1
+
+#: seed used throughout the reproduction (same as figures.DEFAULT_SEED,
+#: duplicated here to keep the import graph acyclic)
+DEFAULT_SEED = 20110926
+
+#: config fields that cannot change the serialized result — excluded
+#: from the cache key so e.g. tracing to a different path still hits
+_KEY_EXCLUDED_FIELDS = ("trace_path", "profile", "profile_sample_every")
+
+
+class WorkloadSpec(NamedTuple):
+    """A workload by recipe, not by object.
+
+    Cells carry this instead of a materialized
+    :class:`~repro.workloads.swim.Workload` so they can be hashed into
+    cache keys and rebuilt inside worker processes.  ``kind`` is
+    ``'wl1'``/``'wl2'`` (synthesized from ``seed``/``n_jobs``) or
+    ``'file'`` (a saved ``.json`` workload or SWIM ``.tsv`` trace at
+    ``path``; identity is the file's content hash).
+    """
+
+    kind: str
+    n_jobs: int = 500
+    seed: int = DEFAULT_SEED
+    path: str = ""
+
+    def materialize(self) -> Workload:
+        """Build the workload. Deterministic: same spec, same workload."""
+        import numpy as np
+
+        if self.kind == "wl1" or self.kind == "wl2":
+            from repro.workloads.swim import synthesize_wl1, synthesize_wl2
+
+            synth = synthesize_wl1 if self.kind == "wl1" else synthesize_wl2
+            return synth(np.random.default_rng(self.seed), n_jobs=self.n_jobs)
+        if self.kind == "file":
+            if self.path.endswith(".json"):
+                from repro.workloads.swim_io import load_workload
+
+                return load_workload(self.path)
+            from repro.workloads.swim_io import load_swim_trace
+
+            return load_swim_trace(self.path, np.random.default_rng(self.seed))
+        raise ValueError(f"unknown workload kind {self.kind!r}")
+
+    def describe(self) -> Dict:
+        """Identity dict for cache keys (content hash for file workloads)."""
+        if self.kind == "file":
+            sha = hashlib.sha256(Path(self.path).read_bytes()).hexdigest()
+            return {"kind": "file", "seed": self.seed, "sha256": sha}
+        return {"kind": self.kind, "n_jobs": self.n_jobs, "seed": self.seed}
+
+
+class SweepCell(NamedTuple):
+    """One executable cell of a sweep grid."""
+
+    config: ExperimentConfig
+    workload: WorkloadSpec
+    #: display label for progress/report lines (not part of the identity)
+    tag: str = ""
+    #: the sweep's x-coordinate, for sensitivity-curve assembly
+    x: float = 0.0
+
+    def label(self) -> str:
+        """Human-readable cell name."""
+        return self.tag or f"{self.workload.kind}/{self.config.label()}"
+
+
+def cache_key(config: ExperimentConfig, workload: WorkloadSpec) -> str:
+    """Content-addressed identity of one cell's result."""
+    cfg = config_to_dict(config)
+    for name in _KEY_EXCLUDED_FIELDS:
+        cfg.pop(name)
+    doc = {
+        "cache_version": CACHE_VERSION,
+        "config": cfg,
+        "workload": workload.describe(),
+    }
+    return hashlib.sha256(canonical_json(doc).encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store addressed by :func:`cache_key`.
+
+    Entries are canonical-JSON files under ``root/<key[:2]>/<key>.json``,
+    written atomically (temp file + rename) so a crashed writer can at
+    worst leave a truncated temp file, never a corrupt entry.  Anything
+    unreadable or unparsable loads as a miss and is re-run.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def path(self, key: str) -> Path:
+        """Entry path for ``key``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[ExperimentResult]:
+        """The cached result, or None on miss/corruption."""
+        try:
+            text = self.path(key).read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(json.loads(text))
+        except Exception:
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result_doc: Dict) -> Path:
+        """Atomically write one serialized result; returns its path."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+        tmp.write_text(canonical_json(result_doc) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; True if it existed."""
+        try:
+            self.path(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("??/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: a result, a cache hit, or a failure."""
+
+    cell: SweepCell
+    result: Optional[ExperimentResult]
+    error: str = ""
+    from_cache: bool = False
+    duration_s: float = 0.0
+    key: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell produced a result."""
+        return self.result is not None
+
+
+class SweepError(RuntimeError):
+    """Raised by :func:`results_of` when any cell failed."""
+
+
+def results_of(outcomes: Sequence[CellOutcome]) -> List[ExperimentResult]:
+    """Unwrap outcomes into results, raising :class:`SweepError` on failures."""
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        lines = []
+        for o in failed:
+            last = o.error.strip().splitlines()[-1] if o.error else "unknown error"
+            lines.append(f"  - {o.cell.label()}: {last}")
+        raise SweepError(
+            f"{len(failed)} of {len(outcomes)} sweep cell(s) failed:\n"
+            + "\n".join(lines)
+        )
+    return [o.result for o in outcomes]
+
+
+#: progress callback: (outcome, cells done, cells total, ETA seconds)
+ProgressFn = Callable[[CellOutcome, int, int, float], None]
+
+
+def print_progress(outcome: CellOutcome, done: int, total: int, eta_s: float) -> None:
+    """Default progress reporter: one stderr line per finished cell."""
+    if outcome.from_cache:
+        status = "cached"
+    elif outcome.ok:
+        status = "ok"
+    else:
+        status = "FAILED"
+    eta = f"  eta {eta_s:5.0f}s" if eta_s >= 0.5 else ""
+    print(
+        f"[{done}/{total}] {outcome.cell.label():<44s} {status:>6s}"
+        f" {outcome.duration_s:7.2f}s{eta}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+# -- the executor -------------------------------------------------------------
+
+
+def _worker_main(conn, config_dict: Dict, workload_tuple: Tuple) -> None:
+    """Child-process entry: run one cell, ship the serialized result back.
+
+    All randomness is derived from the config/workload seeds, never from
+    inherited process state, so the result is independent of which worker
+    runs the cell.
+    """
+    try:
+        config = config_from_dict(config_dict)
+        workload = WorkloadSpec(*workload_tuple).materialize()
+        result = run_experiment(config, workload)
+        conn.send(("ok", result_to_dict(result)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _stop(proc: mp.process.BaseProcess) -> None:
+    """Terminate (then kill) a worker and reap it."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=2.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=2.0)
+
+
+@dataclass
+class _Running:
+    proc: mp.process.BaseProcess
+    conn: object
+    started: float = field(default_factory=time.perf_counter)
+
+
+def run_cells(
+    cells: Iterable[SweepCell],
+    jobs: int = 1,
+    cache: Union[ResultCache, str, Path, None] = None,
+    no_cache: bool = False,
+    timeout_s: Optional[float] = None,
+    crash_retries: int = 1,
+    progress: Optional[ProgressFn] = None,
+) -> List[CellOutcome]:
+    """Run every cell, in input order, and return one outcome per cell.
+
+    ``jobs == 1`` executes in-process (identical to calling
+    ``run_experiment`` in a loop); ``jobs > 1`` fans out over worker
+    processes.  ``cache`` may be a :class:`ResultCache` or a directory
+    path; ``no_cache`` disables it entirely.  ``timeout_s`` bounds each
+    cell's wall time (workers only).  A crashed worker is retried
+    ``crash_retries`` times before its cell is marked failed; a worker
+    that raises a Python exception fails immediately with the traceback.
+    """
+    cells = list(cells)
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    if no_cache:
+        cache = None
+
+    total = len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+    keys = [cache_key(c.config, c.workload) for c in cells]
+    done = 0
+    run_durations: List[float] = []
+
+    def finish(i: int, outcome: CellOutcome) -> None:
+        nonlocal done
+        outcomes[i] = outcome
+        done += 1
+        if outcome.ok and not outcome.from_cache:
+            run_durations.append(outcome.duration_s)
+        if progress is not None:
+            mean = sum(run_durations) / len(run_durations) if run_durations else 0.0
+            eta = mean * (total - done) / max(1, jobs)
+            progress(outcome, done, total, eta)
+
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        # a cell that writes a trace must actually run, so skip cache reads
+        if cache is not None and not cell.config.trace_path:
+            hit = cache.load(keys[i])
+            if hit is not None:
+                finish(i, CellOutcome(cell, hit, from_cache=True, key=keys[i]))
+                continue
+        pending.append(i)
+
+    if jobs <= 1:
+        memo: Dict[WorkloadSpec, Workload] = {}
+        for i in pending:
+            cell = cells[i]
+            started = time.perf_counter()
+            try:
+                if cell.workload not in memo:
+                    memo[cell.workload] = cell.workload.materialize()
+                result = run_experiment(cell.config, memo[cell.workload])
+            except Exception:
+                finish(i, CellOutcome(
+                    cell, None, error=traceback.format_exc(), key=keys[i],
+                    duration_s=time.perf_counter() - started,
+                ))
+                continue
+            if cache is not None:
+                cache.store(keys[i], result_to_dict(result))
+            finish(i, CellOutcome(
+                cell, result, key=keys[i],
+                duration_s=time.perf_counter() - started,
+            ))
+        return outcomes  # type: ignore[return-value]
+
+    ctx = mp.get_context()
+    queue: List[int] = list(pending)
+    attempts: Dict[int, int] = {i: 0 for i in pending}
+    running: Dict[int, _Running] = {}
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                i = queue.pop(0)
+                recv_conn, send_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        send_conn,
+                        config_to_dict(cells[i].config),
+                        tuple(cells[i].workload),
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                send_conn.close()
+                running[i] = _Running(proc, recv_conn)
+            _conn_wait([r.conn for r in running.values()], timeout=0.1)
+            now = time.perf_counter()
+            for i, r in list(running.items()):
+                msg = None
+                if r.conn.poll():
+                    try:
+                        msg = r.conn.recv()
+                    except (EOFError, OSError):
+                        msg = None  # died mid-send: treat as a crash
+                elif r.proc.is_alive():
+                    if timeout_s is not None and now - r.started > timeout_s:
+                        _stop(r.proc)
+                        r.conn.close()
+                        del running[i]
+                        finish(i, CellOutcome(
+                            cells[i], None, key=keys[i],
+                            error=(f"cell timed out after {timeout_s:g}s "
+                                   "and was terminated"),
+                            duration_s=now - r.started,
+                        ))
+                    continue
+                duration = now - r.started
+                r.conn.close()
+                r.proc.join(timeout=5.0)
+                exitcode = r.proc.exitcode
+                _stop(r.proc)
+                del running[i]
+                if msg is None:  # dead worker, no report
+                    attempts[i] += 1
+                    if attempts[i] <= crash_retries:
+                        queue.append(i)
+                    else:
+                        finish(i, CellOutcome(
+                            cells[i], None, key=keys[i],
+                            error=(f"worker died (exit code {exitcode}) "
+                                   f"on {attempts[i]} attempt(s)"),
+                            duration_s=duration,
+                        ))
+                elif msg[0] == "ok":
+                    if cache is not None:
+                        cache.store(keys[i], msg[1])
+                    finish(i, CellOutcome(
+                        cells[i], result_from_dict(msg[1]), key=keys[i],
+                        duration_s=duration,
+                    ))
+                else:
+                    finish(i, CellOutcome(
+                        cells[i], None, error=msg[1], key=keys[i],
+                        duration_s=duration,
+                    ))
+    finally:
+        for r in running.values():
+            _stop(r.proc)
+            r.conn.close()
+    return outcomes  # type: ignore[return-value]
+
+
+# -- sharding -----------------------------------------------------------------
+
+
+def parse_shard(spec: str) -> Tuple[int, int]:
+    """Parse ``'K/M'`` (1-based) into ``(K, M)``."""
+    try:
+        k_text, m_text = spec.split("/")
+        k, m = int(k_text), int(m_text)
+    except ValueError:
+        raise ValueError(f"bad shard spec {spec!r}; expected K/M, e.g. 2/4")
+    if m < 1 or not 1 <= k <= m:
+        raise ValueError(f"shard spec needs 1 <= K <= M, got {spec!r}")
+    return k, m
+
+
+def shard_cells(
+    cells: Sequence[SweepCell], shard: Union[str, Tuple[int, int]]
+) -> List[SweepCell]:
+    """Round-robin shard ``K/M``: the M shards partition the cells exactly."""
+    k, m = parse_shard(shard) if isinstance(shard, str) else shard
+    return [c for i, c in enumerate(cells) if i % m == k - 1]
+
+
+def dedupe_cells(cells: Iterable[SweepCell]) -> List[SweepCell]:
+    """Drop cells whose cache key duplicates an earlier cell's."""
+    seen = set()
+    out = []
+    for cell in cells:
+        key = cache_key(cell.config, cell.workload)
+        if key not in seen:
+            seen.add(key)
+            out.append(cell)
+    return out
+
+
+# -- named grids (the CLI's unit of work) -------------------------------------
+
+#: grid names accepted by ``repro sweep --grid`` (besides ``all``)
+GRID_NAMES = ("smoke", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations")
+
+
+def _smoke_cells(n_jobs: int, seed: int) -> List[SweepCell]:
+    """Two tiny invariant-checked cells for the CI replay smoke test."""
+    from repro.core.config import DareConfig
+
+    workload = WorkloadSpec("wl1", n_jobs, seed)
+    return [
+        SweepCell(
+            ExperimentConfig(dare=dare, seed=seed, check_invariants=True),
+            workload,
+            tag=f"smoke/{tag}",
+        )
+        for tag, dare in (
+            ("lru", DareConfig.greedy_lru()),
+            ("et", DareConfig.elephant_trap()),
+        )
+    ]
+
+
+def build_grid(
+    name: str, n_jobs: int = 200, seed: int = DEFAULT_SEED
+) -> List[SweepCell]:
+    """Cells of one named grid (``GRID_NAMES``) or the deduplicated union
+    of every evaluation grid (``'all'``)."""
+    from repro.experiments import ablations as A
+    from repro.experiments import figures as F
+
+    if name == "smoke":
+        return _smoke_cells(n_jobs, seed)
+    if name == "fig7":
+        return F.fig7_cells(n_jobs=n_jobs, seed=seed)
+    if name == "fig8":
+        return (F.fig8a_cells(n_jobs=n_jobs, seed=seed)
+                + F.fig8b_cells(n_jobs=n_jobs, seed=seed))
+    if name == "fig9":
+        return (F.fig9a_cells(n_jobs=n_jobs, seed=seed)
+                + F.fig9b_cells(n_jobs=n_jobs, seed=seed))
+    if name == "fig10":
+        return F.fig10_cells(n_jobs=n_jobs, seed=seed)
+    if name == "fig11":
+        return F.fig11_cells(n_jobs=n_jobs, seed=seed)
+    if name == "ablations":
+        return A.ablation_cells(n_jobs=n_jobs, seed=seed)
+    if name == "all":
+        cells: List[SweepCell] = []
+        for grid in ("fig7", "fig8", "fig9", "fig10", "fig11", "ablations"):
+            cells.extend(build_grid(grid, n_jobs=n_jobs, seed=seed))
+        return dedupe_cells(cells)
+    raise ValueError(
+        f"unknown grid {name!r} (expected one of {', '.join(GRID_NAMES)}, or 'all')"
+    )

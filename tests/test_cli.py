@@ -77,3 +77,55 @@ class TestCommands:
         assert main(["figures", "--jobs", "30", "--only", "fig11"]) == 0
         out = capsys.readouterr().out
         assert "cv" in out
+
+
+class TestSweepCommand:
+    def test_smoke_grid_cold_then_cached(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "--grid", "smoke", "--n-jobs", "6",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cached" in out and "0 failed" in out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cached" in out and "2 cache hits" in out
+
+    def test_no_cache_writes_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["sweep", "--grid", "smoke", "--n-jobs", "6",
+                     "--no-cache", "--cache-dir", str(cache_dir)]) == 0
+        assert not cache_dir.exists()
+        assert "cache off" in capsys.readouterr().out
+
+    def test_out_document(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "results.json"
+        assert main(["sweep", "--grid", "smoke", "--n-jobs", "6", "--no-cache",
+                     "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["grid"] == "smoke"
+        assert len(doc["cells"]) == 2
+        for cell in doc["cells"]:
+            assert cell["ok"] and cell["result"]["n_jobs"] == 6
+
+    def test_shard_selects_subset(self, tmp_path, capsys):
+        assert main(["sweep", "--grid", "smoke", "--n-jobs", "6", "--no-cache",
+                     "--shard", "1/2"]) == 0
+        assert "1 cells" in capsys.readouterr().out
+
+    def test_bad_shard_and_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--shard", "4/2"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--grid", "fig99"])
+
+    def test_trace_dir_produces_verifiable_traces(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert main(["sweep", "--grid", "smoke", "--n-jobs", "6", "--no-cache",
+                     "--trace-dir", str(trace_dir)]) == 0
+        traces = sorted(trace_dir.glob("*.jsonl"))
+        assert len(traces) == 2
+        for trace in traces:
+            assert main(["replay", "verify", str(trace)]) == 0

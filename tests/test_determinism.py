@@ -67,3 +67,61 @@ def test_engine_event_firehose_is_reproducible(tmp_path):
     assert a.read_bytes() == b.read_bytes()
     diff = diff_traces(str(a), str(b))
     assert diff.identical
+
+
+# -- sweep executor: identical bytes regardless of execution strategy ---------
+
+
+def _sweep_cells():
+    from repro.experiments.sweep import SweepCell, WorkloadSpec
+
+    workload = WorkloadSpec("wl1", N_JOBS, SEED)
+    return [
+        SweepCell(
+            ExperimentConfig(scheduler=scheduler, dare=POLICIES[policy], seed=SEED),
+            workload,
+            tag=f"{scheduler}/{policy}",
+        )
+        for policy, scheduler in itertools.product(POLICIES, SCHEDULERS)
+    ]
+
+
+def _result_bytes(outcomes):
+    from repro.experiments.serialize import result_to_json
+    from repro.experiments.sweep import results_of
+
+    return [result_to_json(r) for r in results_of(outcomes)]
+
+
+def test_sweep_results_identical_across_worker_counts(tmp_path):
+    """Serial, 2-worker, 4-worker, and cache-hit runs: equal bytes per cell."""
+    from repro.experiments.sweep import ResultCache, run_cells
+
+    cells = _sweep_cells()
+    serial = _result_bytes(run_cells(cells, jobs=1))
+
+    # a fresh cache per worker count, so every run really computes its cells
+    for jobs in (2, 4):
+        cache = ResultCache(tmp_path / f"cache{jobs}")
+        parallel = _result_bytes(run_cells(cells, jobs=jobs, cache=cache))
+        assert cache.hits == 0 and cache.misses == len(cells)
+        assert parallel == serial, f"jobs={jobs} diverged from the serial path"
+
+    # the second pass with the populated cache must reproduce the same bytes
+    cached = _result_bytes(run_cells(cells, jobs=1, cache=cache))
+    assert cache.hits == len(cells)
+    assert cached == serial
+
+
+def test_sweep_serial_path_matches_run_experiment():
+    """jobs=1 runs the legacy in-process loop: results compare equal live."""
+    from repro.experiments.sweep import results_of, run_cells
+
+    cells = _sweep_cells()[:2]
+    via_sweep = results_of(run_cells(cells, jobs=1))
+    for cell, result in zip(cells, via_sweep):
+        rng = np.random.default_rng(SEED)
+        direct = run_experiment(cell.config, synthesize_wl1(rng, n_jobs=N_JOBS))
+        assert result.job_locality == direct.job_locality
+        assert result.gmtt_s == direct.gmtt_s
+        assert result.events_processed == direct.events_processed
