@@ -1,15 +1,19 @@
 """Machine-readable performance benchmark with a CI regression gate.
 
 Measures the simulator's headline numbers — engine event throughput,
-cancel-churn cost, NameNode locality queries, the ElephantTrap update, and
-one timed end-to-end sweep cell — and writes them as JSON::
+cancel-churn cost, NameNode locality queries, the ElephantTrap update,
+one timed end-to-end sweep cell, checkpoint snapshot/restore cost, and
+the fork-vs-cold wall-clock of a prefix-shared what-if grid — and writes
+them as JSON::
 
     PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_latest.json
     PYTHONPATH=src python benchmarks/run_bench.py --check benchmarks/baseline.json
 
 ``--check`` exits non-zero when any metric's wall time regresses more than
-``BENCH_TOLERANCE`` (default 0.25, i.e. 25%) over the committed baseline;
-this is the CI performance budget.  Faster-than-baseline is always fine.
+``BENCH_TOLERANCE`` (default 0.25, i.e. 25%) over the committed baseline,
+or when the prefix-sharing speedup of the what-if grid drops below
+``MIN_FORK_SPEEDUP``; this is the CI performance budget.
+Faster-than-baseline is always fine.
 ``--write-baseline`` refreshes the committed baseline after an intentional
 change (run on a quiet machine, then commit the file).
 
@@ -31,6 +35,9 @@ import numpy as np
 
 #: allowed fractional wall-time regression before --check fails
 TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "0.25"))
+
+#: minimum fork-vs-cold speedup the prefix-sharing sweep path must keep
+MIN_FORK_SPEEDUP = float(os.environ.get("BENCH_MIN_FORK_SPEEDUP", "2.0"))
 
 #: pre-PR reference for the engine throughput bench (seconds, best-of-N on
 #: the machine that recorded benchmarks/baseline.json); kept so the JSON
@@ -173,6 +180,84 @@ def bench_e2e_cell(n_jobs: int) -> Dict[str, float]:
     }
 
 
+def bench_snapshot_restore(n_jobs: int) -> Dict[str, float]:
+    """Freeze/thaw cost of a mid-flight simulation at half makespan."""
+    from repro.checkpoint import snapshot as take_snapshot
+    from repro.core.config import DareConfig
+    from repro.experiments.runner import (
+        ExperimentConfig,
+        Simulation,
+        make_tracer,
+        run_experiment,
+    )
+    from repro.workloads.swim import synthesize_wl1
+
+    config = ExperimentConfig(
+        scheduler="fair", dare=DareConfig.elephant_trap(), seed=20110926
+    )
+    workload = synthesize_wl1(np.random.default_rng(20110926), n_jobs=n_jobs)
+    makespan = run_experiment(config, workload).makespan_s
+
+    sim = Simulation(config, workload, tracer=make_tracer(config))
+    sim.run(until=makespan / 2)
+    snapshot_s = best_of(lambda: take_snapshot(sim), rounds=10)
+    snap = take_snapshot(sim)
+    sim.close()
+    restore_s = best_of(lambda: snap.fork().close(), rounds=10)
+    return {
+        "wall_s": snapshot_s + restore_s,
+        "snapshot_s": snapshot_s,
+        "restore_s": restore_s,
+        "snapshot_bytes": float(len(snap.payload)),
+    }
+
+
+def bench_fork_vs_cold(n_jobs: int) -> Dict[str, float]:
+    """Prefix-shared what-if grid vs re-simulating every cell from zero.
+
+    Ten variants of one base run diverge at 90% of its makespan — the
+    late-divergence shape of a what-if grid ("same morning, different
+    afternoon").  The shared path simulates the common prefix once and
+    forks it, the cold path replays it per cell.  The measured speedup
+    backs the >= 2x claim gated by ``MIN_FORK_SPEEDUP`` under ``--check``.
+    """
+    from repro.core.config import DareConfig
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.experiments.sweep import (
+        ForkCell,
+        WorkloadSpec,
+        results_of,
+        run_fork_cells,
+    )
+
+    config = ExperimentConfig(
+        scheduler="fair", dare=DareConfig.greedy_lru(), seed=20110926
+    )
+    spec = WorkloadSpec("wl1", n_jobs=n_jobs, seed=20110926)
+    makespan = run_experiment(config, spec.materialize()).makespan_s
+    patches = ("", "policy:et", "policy:lfu", "policy:off",
+               "pin:1:5", "pin:2:6", "pin:3:7", "pin:4:8",
+               "pin:5:9", "pin:6:10")
+    cells = [
+        ForkCell(config, spec, fork_time=0.9 * makespan, patch=p, tag=f"v{i}")
+        for i, p in enumerate(patches)
+    ]
+
+    def timed(share_prefix: bool) -> float:
+        t0 = time.perf_counter()
+        results_of(run_fork_cells(cells, no_cache=True, share_prefix=share_prefix))
+        return time.perf_counter() - t0
+
+    shared_s = min(timed(True) for _ in range(2))
+    cold_s = min(timed(False) for _ in range(2))
+    return {
+        "wall_s": shared_s,
+        "cold_wall_s": cold_s,
+        "speedup": cold_s / shared_s,
+        "n_cells": float(len(cells)),
+    }
+
+
 def collect(n_jobs: int) -> Dict[str, Dict[str, float]]:
     """Run every benchmark and return {name: metrics}."""
     results: Dict[str, Dict[str, float]] = {}
@@ -189,6 +274,16 @@ def collect(n_jobs: int) -> Dict[str, Dict[str, float]]:
     results["e2e_fair_et"] = bench_e2e_cell(n_jobs)
     print(f" {results['e2e_fair_et']['wall_s'] * 1e3:.1f}ms "
           f"({results['e2e_fair_et']['events_per_sec']:,.0f} events/s)")
+    print("  checkpoint_snapshot_restore ...", end="", flush=True)
+    results["checkpoint_snapshot_restore"] = bench_snapshot_restore(n_jobs)
+    print(f" {results['checkpoint_snapshot_restore']['snapshot_s'] * 1e3:.2f}ms"
+          f" + {results['checkpoint_snapshot_restore']['restore_s'] * 1e3:.2f}ms "
+          f"({results['checkpoint_snapshot_restore']['snapshot_bytes']:,.0f} bytes)")
+    print("  checkpoint_fork_vs_cold ...", end="", flush=True)
+    results["checkpoint_fork_vs_cold"] = bench_fork_vs_cold(n_jobs)
+    print(f" {results['checkpoint_fork_vs_cold']['wall_s'] * 1e3:.0f}ms shared vs "
+          f"{results['checkpoint_fork_vs_cold']['cold_wall_s'] * 1e3:.0f}ms cold "
+          f"({results['checkpoint_fork_vs_cold']['speedup']:.2f}x)")
     return results
 
 
@@ -257,10 +352,16 @@ def main(argv=None) -> int:
     if args.check:
         print(f"checking against {args.check} (tolerance {args.tolerance:.0%}):")
         failures = check_against(results, args.check, args.tolerance)
+        speedup = results["checkpoint_fork_vs_cold"]["speedup"]
+        if speedup < MIN_FORK_SPEEDUP:
+            print(f"  fork-vs-cold speedup {speedup:.2f}x is below the "
+                  f"{MIN_FORK_SPEEDUP:.1f}x floor")
+            failures += 1
         if failures:
             print(f"FAILED: {failures} metric(s) over the performance budget")
             return 1
-        print("all metrics within budget")
+        print(f"all metrics within budget "
+              f"(fork speedup {speedup:.2f}x >= {MIN_FORK_SPEEDUP:.1f}x)")
     return 0
 
 

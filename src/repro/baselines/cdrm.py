@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 import random
+from functools import partial
 from typing import TYPE_CHECKING, List, NamedTuple, Tuple
 
 from repro.metrics.traffic import TrafficMeter
@@ -152,7 +153,7 @@ class CdrmService:
         )
         self.traffic.record("rebalancing", block.size_bytes)
         self.engine.schedule_in(
-            duration, lambda: self._finish_copy(bid, src, dst), f"cdrm-copy:{bid}"
+            duration, partial(self._finish_copy, bid, src, dst), f"cdrm-copy:{bid}"
         )
 
     def _finish_copy(self, bid: int, src: int, dst: int) -> None:

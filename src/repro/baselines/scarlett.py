@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
+from functools import partial
 from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.metrics.traffic import TrafficMeter
@@ -274,7 +275,7 @@ class ScarlettService:
         )
         self.traffic.record("rebalancing", block.size_bytes)
         self.engine.schedule_in(
-            duration, lambda: self._finish_copy(bid, src, dst), f"scarlett-copy:{bid}"
+            duration, partial(self._finish_copy, bid, src, dst), f"scarlett-copy:{bid}"
         )
 
     def _finish_copy(self, bid: int, src: int, dst: int) -> None:

@@ -1,0 +1,25 @@
+"""Simulation checkpoints: snapshot/restore/fork and what-if patches.
+
+See ``docs/CHECKPOINT.md`` for the snapshot format, the determinism
+contract, and the sweep prefix-sharing heuristic built on top of it.
+"""
+
+from repro.checkpoint.patches import (
+    FlipPolicy,
+    KillNode,
+    Patch,
+    PinReplica,
+    parse_patch,
+)
+from repro.checkpoint.snapshot import SNAPSHOT_FORMAT, Snapshot, snapshot
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "Snapshot",
+    "snapshot",
+    "Patch",
+    "KillNode",
+    "FlipPolicy",
+    "PinReplica",
+    "parse_patch",
+]

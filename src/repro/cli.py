@@ -10,6 +10,9 @@ Four subcommands cover the library's workflows::
     python -m repro sweep --grid all --jobs 4 --cache-dir .sweep-cache
     python -m repro replay verify trace.jsonl
     python -m repro replay diff lru.jsonl et.jsonl
+    python -m repro replay whatif trace.jsonl --at 120 --patch kill:3 --out wf.jsonl
+    python -m repro checkpoint save --at 60 --out run.ckpt --trace run.jsonl
+    python -m repro checkpoint resume run.ckpt --trace resumed.jsonl
     python -m repro perf --jobs 300 --scheduler fair --top 10
 
 ``run`` accepts built-in workload names (wl1/wl2), a saved workload JSON,
@@ -24,8 +27,14 @@ grid across CI jobs.
 ``replay`` consumes the JSONL traces ``run --trace`` writes: ``summary``
 prints record counts and reconstructed headline stats, ``verify`` rebuilds
 the control-plane state from the records and checks it against the
-``run.summary`` footer (exit 0 only on an exact match), and ``diff``
-bisects two traces to their first divergent record.
+``run.summary`` footer (exit 0 only on an exact match), ``diff`` bisects
+two traces to their first divergent record, and ``whatif`` rebuilds the
+traced run as a *live* simulation at time T, applies counterfactual
+patches (kill a node, flip the policy, pin a replica), and resumes it.
+
+``checkpoint`` pauses a run at a time horizon, freezes its full state to
+disk, and later resumes it (optionally patched); a resumed trace is
+byte-identical to one from an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -298,6 +307,151 @@ def cmd_replay_diff(args: argparse.Namespace) -> int:
     return 0 if diff.identical else 1
 
 
+def _rebuild_whatif_workload(header, args: argparse.Namespace) -> Workload:
+    """Rebuild the traced run's workload from the header (or --workload)."""
+    if args.workload:
+        return _workload(args)
+    name = header.data["workload"]
+    if name not in ("wl1", "wl2"):
+        raise SystemExit(
+            f"trace was recorded against workload {name!r}, which cannot be "
+            "resynthesized from the header; pass --workload PATH to the "
+            "saved workload file"
+        )
+    rng = np.random.default_rng(args.seed)
+    synth = synthesize_wl1 if name == "wl1" else synthesize_wl2
+    return synth(rng, n_jobs=header.data["jobs"])
+
+
+def cmd_replay_whatif(args: argparse.Namespace) -> int:
+    """Reconstruct a traced run to time t, apply patches, resume live."""
+    import dataclasses
+
+    from repro.checkpoint import parse_patch
+    from repro.checkpoint.snapshot import snapshot as take_snapshot
+    from repro.experiments.runner import Simulation, make_tracer
+    from repro.experiments.serialize import config_from_dict
+
+    index = _load_trace_or_exit(args.trace)
+    header = index.config
+    if header is None:
+        raise SystemExit(f"trace {args.trace!r} has no run.config header")
+    payload = header.data.get("config")
+    if payload is None:
+        raise SystemExit(
+            f"trace {args.trace!r} predates embedded configs; re-record it "
+            "with `repro run --trace` to use what-if replay"
+        )
+    try:
+        patches = [parse_patch(spec) for spec in args.patch]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    config = config_from_dict(payload)
+    if args.seed is None:
+        args.seed = config.seed
+    workload = _rebuild_whatif_workload(header, args)
+    config = dataclasses.replace(config, trace_path=args.out)
+
+    base = Simulation(config, workload, tracer=make_tracer(config))
+    base.run(until=args.at)
+    snap = take_snapshot(base)
+    base.close()
+    print(f"reconstructed to t={snap.time:.1f}s "
+          f"({snap.events_processed} events replayed)")
+
+    fork = snap.restore(trace_path=args.out)
+    for patch in patches:
+        patch.apply(fork)
+        print(f"  applied: {patch.describe()}")
+    fork.run()
+    result = fork.finalize()
+    fork.close()
+    print(result.summary_row())
+    if args.out:
+        from repro.replay import diff_traces
+
+        print(f"  what-if trace written: {args.out}")
+        diff = diff_traces(args.trace, args.out)
+        if diff.identical:
+            print("  no divergence from the original run")
+        else:
+            rec = diff.divergence.record_a or diff.divergence.record_b
+            print(f"  diverges from the original at event "
+                  f"#{diff.divergence.index} (t={rec.time:.1f}s); "
+                  f"run `repro replay diff` for the full report")
+    return 0
+
+
+def _checkpoint_config(args: argparse.Namespace) -> ExperimentConfig:
+    scarlett = (
+        ScarlettConfig(epoch_s=args.scarlett_epoch, budget=args.budget)
+        if args.scarlett
+        else None
+    )
+    return ExperimentConfig(
+        cluster_spec=_CLUSTERS[args.cluster],
+        scheduler=args.scheduler,
+        dare=_policy(args),
+        seed=args.seed,
+        scarlett=scarlett,
+        failures=_parse_failures(args.fail),
+        trace_path=args.trace,
+        check_invariants=args.check_invariants,
+    )
+
+
+def cmd_checkpoint_save(args: argparse.Namespace) -> int:
+    """Run a cell up to a time horizon and save the frozen state."""
+    from repro.checkpoint.snapshot import snapshot as take_snapshot
+    from repro.experiments.runner import Simulation, make_tracer
+
+    workload = _workload(args)
+    config = _checkpoint_config(args)
+    sim = Simulation(config, workload, tracer=make_tracer(config))
+    sim.run(until=args.at)
+    snap = take_snapshot(sim)
+    sim.close()
+    snap.save(args.out)
+    print(f"checkpoint written: {args.out}")
+    print(f"  t={snap.time:.1f}s, {snap.events_processed} events, "
+          f"{len(snap.payload)} state bytes"
+          + (f", {len(snap.trace_prefix)} trace-prefix bytes"
+             if snap.trace_prefix is not None else ""))
+    return 0
+
+
+def cmd_checkpoint_resume(args: argparse.Namespace) -> int:
+    """Restore a saved checkpoint, optionally patch it, and run to the end."""
+    from repro.checkpoint import Snapshot, parse_patch
+
+    try:
+        snap = Snapshot.load(args.path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load checkpoint {args.path!r}: {exc}")
+    try:
+        patches = [parse_patch(spec) for spec in args.patch]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    try:
+        sim = snap.restore(trace_path=args.trace)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(f"resumed from t={snap.time:.1f}s "
+          f"({snap.events_processed} events already simulated)")
+    for patch in patches:
+        patch.apply(sim)
+        print(f"  applied: {patch.describe()}")
+    sim.run()
+    result = sim.finalize()
+    sim.close()
+    print(result.summary_row())
+    if args.trace:
+        print(f"  trace written: {args.trace} "
+              "(byte-identical to an uninterrupted run)")
+    return 0
+
+
 def cmd_synth(args: argparse.Namespace) -> int:
     from repro.workloads.swim_io import save_workload
 
@@ -383,7 +537,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         timeout_s=args.timeout or None,
-        progress=S.print_progress,
+        progress=S.cache_progress(cache),
     )
     n_failed = sum(1 for o in outcomes if not o.ok)
     n_cached = sum(1 for o in outcomes if o.from_cache)
@@ -534,6 +688,70 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--context", type=int, default=10,
                    help="shared-prefix records to show before the divergence")
     r.set_defaults(func=cmd_replay_diff)
+    r = rsub.add_parser("whatif",
+                        help="reconstruct a traced run to time T, apply "
+                             "patches, and resume it live")
+    r.add_argument("trace")
+    r.add_argument("--at", type=float, required=True, metavar="T",
+                   help="simulation time to fork the run at")
+    r.add_argument("--patch", action="append", default=[], metavar="SPEC",
+                   help="counterfactual edit: kill:NODE[:DELAY], "
+                        "policy:off|lru|lfu|et, or pin:BLOCK:NODE "
+                        "(repeatable; none = plain resume)")
+    r.add_argument("--out", default="", metavar="PATH",
+                   help="write the what-if run's trace to PATH and report "
+                        "its first divergence from the original")
+    r.add_argument("--workload", default="",
+                   help="workload file, when the trace was not recorded "
+                        "against synthesized wl1/wl2")
+    r.add_argument("--jobs", type=int, default=200,
+                   help="workload length (only with --workload)")
+    r.add_argument("--seed", type=int, default=None,
+                   help="workload synthesis seed (default: the traced "
+                        "run's seed)")
+    r.set_defaults(func=cmd_replay_whatif)
+
+    p = sub.add_parser("checkpoint",
+                       help="freeze a simulation mid-run and resume it later")
+    csub = p.add_subparsers(dest="mode", required=True)
+    c = csub.add_parser("save", help="run a cell up to --at and save its state")
+    c.add_argument("--at", type=float, required=True, metavar="T",
+                   help="simulation time to pause and snapshot at")
+    c.add_argument("--out", required=True, metavar="PATH",
+                   help="checkpoint file to write")
+    c.add_argument("--workload", default="wl1",
+                   help="wl1, wl2, a saved .json, or a SWIM .tsv")
+    c.add_argument("--jobs", type=int, default=200)
+    c.add_argument("--cluster", choices=sorted(_CLUSTERS), default="cct")
+    c.add_argument("--scheduler", choices=("fifo", "fair", "fair-skip"),
+                   default="fifo")
+    c.add_argument("--policy", choices=("off", "lru", "et"), default="et")
+    c.add_argument("--p", type=float, default=0.3,
+                   help="ElephantTrap probability")
+    c.add_argument("--threshold", type=int, default=1)
+    c.add_argument("--budget", type=float, default=0.2)
+    c.add_argument("--seed", type=int, default=20110926)
+    c.add_argument("--scarlett", action="store_true",
+                   help="enable the epoch-based proactive baseline")
+    c.add_argument("--scarlett-epoch", type=float, default=600.0)
+    c.add_argument("--fail", action="append", default=[],
+                   metavar="TIME:NODE", help="inject a node failure")
+    c.add_argument("--trace", default="", metavar="PATH",
+                   help="trace the run; the prefix is embedded so a resumed "
+                        "trace is byte-identical to an uninterrupted one")
+    c.add_argument("--check-invariants", action="store_true",
+                   help="validate cross-component invariants while running")
+    c.set_defaults(func=cmd_checkpoint_save)
+    c = csub.add_parser("resume",
+                        help="restore a checkpoint and run it to completion")
+    c.add_argument("path", help="checkpoint file written by `checkpoint save`")
+    c.add_argument("--trace", default="", metavar="PATH",
+                   help="continue the checkpointed trace at PATH (requires "
+                        "the source run to have traced)")
+    c.add_argument("--patch", action="append", default=[], metavar="SPEC",
+                   help="counterfactual edit applied before resuming "
+                        "(kill:NODE[:DELAY], policy:..., pin:BLOCK:NODE)")
+    c.set_defaults(func=cmd_checkpoint_resume)
 
     p = sub.add_parser("synth", help="synthesize, inspect, and save a workload")
     p.add_argument("--workload", default="wl1")

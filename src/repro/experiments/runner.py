@@ -198,6 +198,17 @@ def run_experiment(
     ``finally: tracer.close()``, so a crashed run still leaves a flushed,
     parseable trace behind for ``python -m repro replay``.
     """
+    tracer = make_tracer(config, tracer)
+    try:
+        sim = Simulation(config, workload, collector, tracer)
+        sim.run()
+        return sim.finalize()
+    finally:
+        tracer.close()
+
+
+def make_tracer(config: ExperimentConfig, tracer: Optional[Tracer] = None) -> Tracer:
+    """Resolve the tracer for a run and attach the JSONL sink, if any."""
     if tracer is None:
         tracer = (
             Tracer(engine_events=config.trace_engine_events)
@@ -212,16 +223,24 @@ def run_experiment(
         tracer.engine_events = True
     if config.trace_path:
         tracer.add_sink(JsonlSink(config.trace_path))
-    try:
-        return _run(config, workload, collector, tracer)
-    finally:
-        tracer.close()
+    return tracer
 
 
 def _trace_run_config(tracer: Tracer, config: ExperimentConfig, workload: Workload) -> None:
+    # the flat fields are the human-readable header; the nested ``config``
+    # payload is the lossless form `replay whatif` rebuilds a live run from.
+    # Fields that cannot affect simulation behaviour (trace destination,
+    # profiler) are stripped so runs differing only in observability still
+    # emit byte-identical traces.
+    from repro.experiments.serialize import config_to_dict
+
+    payload = config_to_dict(config)
+    for key in ("trace_path", "profile", "profile_sample_every"):
+        payload.pop(key, None)
     tracer.emit(
         RUN_CONFIG,
         0.0,
+        config=payload,
         workload=workload.name,
         jobs=workload.n_jobs,
         cluster=config.cluster_spec.name,
@@ -269,154 +288,231 @@ def _trace_run_summary(
     )
 
 
-def _run(
-    config: ExperimentConfig,
-    workload: Workload,
-    collector: Optional[MetricsCollector],
-    tracer: Tracer,
-) -> ExperimentResult:
-    if tracer.enabled:
-        _trace_run_config(tracer, config, workload)
+class _JobsFinished:
+    """Picklable ``stop_when`` predicate shared by the baseline services."""
 
-    streams = RandomStreams(config.seed)
-    cluster = Cluster(config.cluster_spec, streams)
-    engine = Engine(tracer=tracer)
-    profiler = None
-    if config.profile:
-        profiler = CallbackProfiler(sample_every=config.profile_sample_every)
-        engine.profiler = profiler
-    namenode = NameNode(cluster, tracer=tracer)
+    __slots__ = ("jobtracker",)
 
-    # load the data set (static replicas via the default placement policy)
-    for fspec in workload.catalog.files:
-        namenode.create_file(
-            fspec.name, fspec.size_bytes(), replication=config.replication
+    def __init__(self, jobtracker: JobTracker) -> None:
+        self.jobtracker = jobtracker
+
+    def __call__(self) -> bool:
+        return self.jobtracker.finished
+
+
+class Simulation:
+    """The fully wired simulator stack for one experiment cell.
+
+    Construction performs the whole build phase — cluster, HDFS, policy
+    services, JobTracker, failure plan — and emits the ``run.config``
+    trace header.  :meth:`run` then drives the engine, optionally only up
+    to a time horizon, so a caller can pause mid-run, hand the object to
+    :func:`repro.checkpoint.snapshot`, and resume later (or in a forked
+    copy).  :meth:`finalize` settles the control plane and computes the
+    :class:`ExperimentResult`.
+
+    :func:`run_experiment` is the one-shot wrapper; this class is the
+    object graph the checkpoint layer pickles, so everything reachable
+    from it must be picklable — event actions are typed intents, never
+    closures — or explicitly excluded (the shared tracer and profiler).
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        workload: Workload,
+        collector: Optional[MetricsCollector] = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.config = config
+        self.workload = workload
+        self.tracer = tracer
+        if tracer.enabled:
+            _trace_run_config(tracer, config, workload)
+
+        self.streams = streams = RandomStreams(config.seed)
+        self.cluster = cluster = Cluster(config.cluster_spec, streams)
+        self.engine = engine = Engine(tracer=tracer)
+        self.profiler = None
+        if config.profile:
+            self.profiler = CallbackProfiler(sample_every=config.profile_sample_every)
+            engine.profiler = self.profiler
+        self.namenode = namenode = NameNode(cluster, tracer=tracer)
+
+        # load the data set (static replicas via the default placement policy)
+        for fspec in workload.catalog.files:
+            namenode.create_file(
+                fspec.name, fspec.size_bytes(), replication=config.replication
+            )
+
+        self.access_counts = dict(workload.access_counts())
+        self.cv_before = coefficient_of_variation(
+            popularity_indices(namenode, self.access_counts)
         )
 
-    access_counts = dict(workload.access_counts())
-    cv_before = coefficient_of_variation(popularity_indices(namenode, access_counts))
-
-    dare = DareReplicationService(config.dare, namenode, streams, tracer=tracer)
-    scheduler = make_scheduler(config.scheduler, config.fair_delay_s)
-    time_model = TaskTimeModel(cluster, namenode, streams.python("runtime.sources"))
-    collector = collector or MetricsCollector()
-    traffic = TrafficMeter()
-    speculation = None
-    if config.speculative:
-        from repro.mapreduce.speculation import SpeculationPolicy
-
-        speculation = SpeculationPolicy()
-    jobtracker = JobTracker(
-        cluster, namenode, engine, scheduler, time_model, dare, collector, traffic,
-        speculation=speculation, tracer=tracer,
-    )
-    jobtracker.start_tasktrackers()
-    jobtracker.submit_trace(workload.specs)
-
-    scarlett = None
-    if config.scarlett is not None:
-        scarlett = ScarlettService(
-            config.scarlett,
-            namenode,
-            engine,
-            traffic,
-            streams.python("scarlett"),
-            stop_when=lambda: jobtracker.finished,
-            tracer=tracer,
+        self.dare = dare = DareReplicationService(
+            config.dare, namenode, streams, tracer=tracer
         )
-        jobtracker.submit_listeners.append(scarlett.observe_submission)
-        scarlett.arm()
-
-    checker = None
-    if config.check_invariants:
-        checker = InvariantChecker(
-            namenode,
-            dare=dare,
-            jobtracker=jobtracker,
-            scarlett=scarlett,
-            full_sweep_every=config.invariant_sweep_every,
-        ).attach(tracer)
-
-    cdrm = None
-    if config.cdrm is not None:
-        cdrm = CdrmService(
-            config.cdrm,
-            namenode,
-            engine,
-            traffic,
-            streams.python("cdrm"),
-            stop_when=lambda: jobtracker.finished,
+        self.scheduler = scheduler = make_scheduler(config.scheduler, config.fair_delay_s)
+        self.time_model = time_model = TaskTimeModel(
+            cluster, namenode, streams.python("runtime.sources")
         )
-        cdrm.arm()
+        self.collector = collector = collector or MetricsCollector()
+        self.traffic = traffic = TrafficMeter()
+        speculation = None
+        if config.speculative:
+            from repro.mapreduce.speculation import SpeculationPolicy
 
-    injector = None
-    repair = None
-    if config.failures:
-        repair = ReReplicationService(
-            namenode, engine, traffic, streams.python("repair")
+            speculation = SpeculationPolicy()
+        self.jobtracker = jobtracker = JobTracker(
+            cluster, namenode, engine, scheduler, time_model, dare, collector, traffic,
+            speculation=speculation, tracer=tracer,
         )
-        injector = FailureInjector(
-            FailurePlan(tuple(config.failures)),
-            engine,
-            namenode,
-            jobtracker,
-            repair,
-            detection_delay_s=config.failure_detection_s,
-            tracer=tracer,
+        jobtracker.start_tasktrackers()
+        jobtracker.submit_trace(workload.specs)
+
+        self.scarlett = None
+        if config.scarlett is not None:
+            self.scarlett = ScarlettService(
+                config.scarlett,
+                namenode,
+                engine,
+                traffic,
+                streams.python("scarlett"),
+                stop_when=_JobsFinished(jobtracker),
+                tracer=tracer,
+            )
+            jobtracker.submit_listeners.append(self.scarlett.observe_submission)
+            self.scarlett.arm()
+
+        self.checker = None
+        if config.check_invariants:
+            self.checker = InvariantChecker(
+                namenode,
+                dare=dare,
+                jobtracker=jobtracker,
+                scarlett=self.scarlett,
+                full_sweep_every=config.invariant_sweep_every,
+            ).attach(tracer)
+
+        self.cdrm = None
+        if config.cdrm is not None:
+            self.cdrm = CdrmService(
+                config.cdrm,
+                namenode,
+                engine,
+                traffic,
+                streams.python("cdrm"),
+                stop_when=_JobsFinished(jobtracker),
+            )
+            self.cdrm.arm()
+
+        self.injector = None
+        self.repair = None
+        if config.failures:
+            self.repair = ReReplicationService(
+                namenode, engine, traffic, streams.python("repair")
+            )
+            self.injector = FailureInjector(
+                FailurePlan(tuple(config.failures)),
+                engine,
+                namenode,
+                jobtracker,
+                self.repair,
+                detection_delay_s=config.failure_detection_s,
+                tracer=tracer,
+            )
+            self.injector.arm()
+
+        #: cumulative wall-clock spent inside engine.run() (across pauses)
+        self.engine_wall_s = 0.0
+
+    # -- driving -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.engine.now
+
+    @property
+    def finished(self) -> bool:
+        """True once every submitted job has completed."""
+        return self.jobtracker.finished
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the engine until drained, or only up to time ``until``."""
+        wall_start = time.perf_counter()
+        try:
+            self.engine.run(until=until)
+        finally:
+            self.engine_wall_s += time.perf_counter() - wall_start
+
+    def close(self) -> None:
+        """Close the tracer (flushes any attached JSONL sink)."""
+        self.tracer.close()
+
+    # -- results -------------------------------------------------------------
+
+    def finalize(self) -> ExperimentResult:
+        """Settle the control plane and compute the run's metrics."""
+        if not self.jobtracker.finished:
+            raise RuntimeError(
+                f"simulation drained with {self.jobtracker.completed_jobs}/"
+                f"{self.jobtracker.expected_jobs} jobs complete"
+            )
+
+        engine = self.engine
+        namenode = self.namenode
+        collector = self.collector
+        # settle the control plane so the final placement view is complete
+        namenode.flush_all_heartbeats(engine.now)
+        namenode.check_integrity()
+        if self.checker is not None:
+            self.checker.check_now()
+
+        cv_after = coefficient_of_variation(
+            popularity_indices(namenode, self.access_counts)
         )
-        injector.arm()
-
-    wall_start = time.perf_counter()
-    engine.run()
-    engine_wall_s = time.perf_counter() - wall_start
-
-    if not jobtracker.finished:
-        raise RuntimeError(
-            f"simulation drained with {jobtracker.completed_jobs}/"
-            f"{jobtracker.expected_jobs} jobs complete"
+        records = collector.job_records
+        dare = self.dare
+        injector = self.injector
+        result = ExperimentResult(
+            config=self.config,
+            workload=self.workload.name,
+            n_jobs=len(records),
+            locality=cluster_locality(records),
+            job_locality=mean_job_locality(records),
+            gmtt_s=geometric_mean_turnaround(records),
+            slowdown=mean_slowdown(
+                records, self.workload.specs_by_id, self.cluster, self.time_model
+            ),
+            mean_map_s=collector.mean_map_duration(),
+            blocks_created=dare.total_replications,
+            blocks_created_per_job=dare.total_replications / max(1, len(records)),
+            blocks_evicted=dare.total_evictions(),
+            replication_disk_writes=dare.total_disk_writes(),
+            cv_before=self.cv_before,
+            cv_after=cv_after,
+            makespan_s=engine.now,
+            traffic_bytes=self.jobtracker.traffic.by_category,
+            blocks_lost_replicas=injector.blocks_that_lost_replicas if injector else 0,
+            data_loss_blocks=injector.data_loss_count if injector else 0,
+            repairs_completed=self.repair.repairs_completed if self.repair else 0,
+            tasks_requeued=self.jobtracker.tasks_requeued,
+            scarlett_replicas_created=(
+                self.scarlett.replicas_created if self.scarlett else 0
+            ),
+            cdrm_replicas_created=self.cdrm.replicas_created if self.cdrm else 0,
+            speculative_launched=self.jobtracker.speculative_launched,
+            speculative_wasted=self.jobtracker.speculative_wasted,
+            speculative_won=self.jobtracker.speculative_won,
+            trace_records_checked=self.checker.records_seen if self.checker else 0,
+            invariant_sweeps=self.checker.sweeps_run if self.checker else 0,
+            events_processed=engine.events_processed,
+            engine_wall_s=self.engine_wall_s,
+            profiler=self.profiler,
+            collector=collector,
         )
-
-    # settle the control plane so the final placement view is complete
-    namenode.flush_all_heartbeats(engine.now)
-    namenode.check_integrity()
-    if checker is not None:
-        checker.check_now()
-
-    cv_after = coefficient_of_variation(popularity_indices(namenode, access_counts))
-    records = collector.job_records
-    result = ExperimentResult(
-        config=config,
-        workload=workload.name,
-        n_jobs=len(records),
-        locality=cluster_locality(records),
-        job_locality=mean_job_locality(records),
-        gmtt_s=geometric_mean_turnaround(records),
-        slowdown=mean_slowdown(records, workload.specs_by_id, cluster, time_model),
-        mean_map_s=collector.mean_map_duration(),
-        blocks_created=dare.total_replications,
-        blocks_created_per_job=dare.total_replications / max(1, len(records)),
-        blocks_evicted=dare.total_evictions(),
-        replication_disk_writes=dare.total_disk_writes(),
-        cv_before=cv_before,
-        cv_after=cv_after,
-        makespan_s=engine.now,
-        traffic_bytes=jobtracker.traffic.by_category,
-        blocks_lost_replicas=injector.blocks_that_lost_replicas if injector else 0,
-        data_loss_blocks=injector.data_loss_count if injector else 0,
-        repairs_completed=repair.repairs_completed if repair else 0,
-        tasks_requeued=jobtracker.tasks_requeued,
-        scarlett_replicas_created=scarlett.replicas_created if scarlett else 0,
-        cdrm_replicas_created=cdrm.replicas_created if cdrm else 0,
-        speculative_launched=jobtracker.speculative_launched,
-        speculative_wasted=jobtracker.speculative_wasted,
-        speculative_won=jobtracker.speculative_won,
-        trace_records_checked=checker.records_seen if checker else 0,
-        invariant_sweeps=checker.sweeps_run if checker else 0,
-        events_processed=engine.events_processed,
-        engine_wall_s=engine_wall_s,
-        profiler=profiler,
-        collector=collector,
-    )
-    if tracer.enabled:
-        _trace_run_summary(tracer, result, namenode, engine.now)
-    return result
+        if self.tracer.enabled:
+            _trace_run_summary(self.tracer, result, namenode, engine.now)
+        return result

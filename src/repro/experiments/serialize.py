@@ -113,12 +113,14 @@ def config_from_dict(d: Dict) -> ExperimentConfig:
         failure_detection_s=d["failure_detection_s"],
         speculative=d["speculative"],
         fair_delay_s=d["fair_delay_s"],
-        trace_path=d["trace_path"],
+        # observability-only fields are absent from trace headers (they
+        # never affect simulation behaviour): fall back to the defaults
+        trace_path=d.get("trace_path", ""),
         trace_engine_events=d["trace_engine_events"],
         check_invariants=d["check_invariants"],
         invariant_sweep_every=d["invariant_sweep_every"],
-        profile=d["profile"],
-        profile_sample_every=d["profile_sample_every"],
+        profile=d.get("profile", False),
+        profile_sample_every=d.get("profile_sample_every", 7),
     )
 
 

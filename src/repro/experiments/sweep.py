@@ -67,7 +67,7 @@ from repro.workloads.swim import Workload
 #: the code-relevant version tag mixed into every cache key.  Bump this
 #: whenever a simulator change is *allowed* to alter experiment results;
 #: stale entries then simply never match again.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: seed used throughout the reproduction (same as figures.DEFAULT_SEED,
 #: duplicated here to keep the import graph acyclic)
@@ -253,8 +253,18 @@ def results_of(outcomes: Sequence[CellOutcome]) -> List[ExperimentResult]:
 ProgressFn = Callable[[CellOutcome, int, int, float], None]
 
 
-def print_progress(outcome: CellOutcome, done: int, total: int, eta_s: float) -> None:
-    """Default progress reporter: one stderr line per finished cell."""
+def print_progress(
+    outcome: CellOutcome,
+    done: int,
+    total: int,
+    eta_s: float,
+    cache: Optional[ResultCache] = None,
+) -> None:
+    """Default progress reporter: one stderr line per finished cell.
+
+    With a ``cache``, each line also carries the running hit/miss tally,
+    so a long sweep shows how much of the grid is being reused as it goes.
+    """
     if outcome.from_cache:
         status = "cached"
     elif outcome.ok:
@@ -262,12 +272,22 @@ def print_progress(outcome: CellOutcome, done: int, total: int, eta_s: float) ->
     else:
         status = "FAILED"
     eta = f"  eta {eta_s:5.0f}s" if eta_s >= 0.5 else ""
+    tally = f"  cache {cache.hits}h/{cache.misses}m" if cache is not None else ""
     print(
         f"[{done}/{total}] {outcome.cell.label():<44s} {status:>6s}"
-        f" {outcome.duration_s:7.2f}s{eta}",
+        f" {outcome.duration_s:7.2f}s{eta}{tally}",
         file=sys.stderr,
         flush=True,
     )
+
+
+def cache_progress(cache: Optional[ResultCache]) -> ProgressFn:
+    """A :func:`print_progress` bound to a cache's live hit/miss counters."""
+
+    def report(outcome: CellOutcome, done: int, total: int, eta_s: float) -> None:
+        print_progress(outcome, done, total, eta_s, cache=cache)
+
+    return report
 
 
 # -- the executor -------------------------------------------------------------
@@ -461,6 +481,162 @@ def run_cells(
         for r in running.values():
             _stop(r.proc)
             r.conn.close()
+    return outcomes  # type: ignore[return-value]
+
+
+# -- prefix-sharing fork cells ------------------------------------------------
+
+
+class ForkCell(NamedTuple):
+    """A what-if cell: one base run forked at ``fork_time`` under a patch.
+
+    Grids of fork cells that share (config, workload, fork_time) also
+    share their entire simulated prefix: :func:`run_fork_cells` runs the
+    base simulation up to the divergence time once, snapshots it, and
+    forks every cell from the checkpoint instead of re-simulating the
+    prefix per cell.  ``patch`` is a :func:`repro.checkpoint.parse_patch`
+    spec (empty = plain resume, the control cell).
+    """
+
+    config: ExperimentConfig
+    workload: WorkloadSpec
+    fork_time: float
+    patch: str = ""
+    #: display label for progress/report lines (not part of the identity)
+    tag: str = ""
+    #: the sweep's x-coordinate, for sensitivity-curve assembly
+    x: float = 0.0
+
+    def label(self) -> str:
+        """Human-readable cell name."""
+        if self.tag:
+            return self.tag
+        base = f"{self.workload.kind}/{self.config.label()}@{self.fork_time:g}s"
+        return f"{base}+{self.patch}" if self.patch else base
+
+
+def fork_cache_key(cell: ForkCell) -> str:
+    """Content-addressed identity of one fork cell's result."""
+    cfg = config_to_dict(cell.config)
+    for name in _KEY_EXCLUDED_FIELDS:
+        cfg.pop(name)
+    doc = {
+        "cache_version": CACHE_VERSION,
+        "config": cfg,
+        "workload": cell.workload.describe(),
+        "fork_time": cell.fork_time,
+        "patch": cell.patch,
+    }
+    return hashlib.sha256(canonical_json(doc).encode()).hexdigest()
+
+
+def run_fork_cells(
+    cells: Iterable[ForkCell],
+    cache: Union[ResultCache, str, Path, None] = None,
+    no_cache: bool = False,
+    progress: Optional[ProgressFn] = None,
+    share_prefix: bool = True,
+) -> List[CellOutcome]:
+    """Run every fork cell, sharing simulated prefixes via checkpoints.
+
+    Cells are grouped by (base config, workload, fork_time); each group's
+    prefix is simulated once, snapshotted, and forked per cell.  Because a
+    forked run is byte-identical to a cold run paused at the same time,
+    the results are exactly those of ``share_prefix=False`` (the cold
+    comparator, which re-simulates the prefix for every cell) — only the
+    wall clock differs.  Runs serially: the fan-out worker pool would
+    have to re-pickle the snapshot per cell, forfeiting the sharing.
+    """
+    import dataclasses
+
+    from repro.checkpoint import parse_patch
+    from repro.checkpoint.snapshot import snapshot as take_snapshot
+    from repro.experiments.runner import Simulation, make_tracer
+
+    cells = list(cells)
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    if no_cache:
+        cache = None
+
+    total = len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+    keys = [fork_cache_key(c) for c in cells]
+    done = 0
+
+    def finish(i: int, outcome: CellOutcome) -> None:
+        nonlocal done
+        outcomes[i] = outcome
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total, 0.0)
+
+    pending: List[int] = []
+    for i, cell in enumerate(cells):
+        if cache is not None:
+            hit = cache.load(keys[i])
+            if hit is not None:
+                finish(i, CellOutcome(cell, hit, from_cache=True, key=keys[i]))
+                continue
+        pending.append(i)
+
+    groups: Dict[Tuple[str, float], List[int]] = {}
+    for i in pending:
+        base = (cache_key(cells[i].config, cells[i].workload), cells[i].fork_time)
+        groups.setdefault(base, []).append(i)
+
+    memo: Dict[WorkloadSpec, Workload] = {}
+    for (_, fork_time), idxs in groups.items():
+        first = cells[idxs[0]]
+        # trace/profiler settings are observability-only (and excluded from
+        # the key); strip them so the shared prefix needs no trace plumbing
+        config = dataclasses.replace(first.config, trace_path="", profile=False)
+        if first.workload not in memo:
+            memo[first.workload] = first.workload.materialize()
+        workload = memo[first.workload]
+
+        snap = None
+        prefix_s = 0.0
+        if share_prefix:
+            started = time.perf_counter()
+            try:
+                warm = Simulation(config, workload, tracer=make_tracer(config))
+                warm.run(until=fork_time)
+                snap = take_snapshot(warm)
+                warm.close()
+            except Exception:
+                error = traceback.format_exc()
+                for i in idxs:
+                    finish(i, CellOutcome(cells[i], None, error=error, key=keys[i]))
+                continue
+            prefix_s = time.perf_counter() - started
+
+        for n, i in enumerate(idxs):
+            cell = cells[i]
+            started = time.perf_counter()
+            try:
+                if snap is not None:
+                    sim = snap.fork()
+                else:
+                    sim = Simulation(config, workload, tracer=make_tracer(config))
+                    sim.run(until=fork_time)
+                if cell.patch:
+                    parse_patch(cell.patch).apply(sim)
+                sim.run()
+                result = sim.finalize()
+                sim.close()
+            except Exception:
+                finish(i, CellOutcome(
+                    cell, None, error=traceback.format_exc(), key=keys[i],
+                    duration_s=time.perf_counter() - started,
+                ))
+                continue
+            if cache is not None:
+                cache.store(keys[i], result_to_dict(result))
+            duration = time.perf_counter() - started
+            if n == 0:
+                duration += prefix_s  # charge the shared warm-up to the first fork
+            finish(i, CellOutcome(cell, result, key=keys[i], duration_s=duration))
     return outcomes  # type: ignore[return-value]
 
 

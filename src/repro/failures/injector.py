@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.observability.trace import (
@@ -89,7 +90,7 @@ class FailureInjector:
         """Schedule the plan's failure events."""
         for t, node in self.plan.events:
             self.engine.schedule(
-                t, lambda n=node: self._fail(n), f"fail:node{node}"
+                t, partial(self._fail, node), f"fail:node{node}"
             )
 
     # -- the failure sequence -------------------------------------------------
@@ -107,7 +108,7 @@ class FailureInjector:
             )
         self.engine.schedule_in(
             self.detection_delay_s,
-            lambda: self._detect(node_id),
+            partial(self._detect, node_id),
             f"detect-fail:node{node_id}",
         )
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import TYPE_CHECKING, Dict, List, Set, Tuple
 
 from repro.metrics.traffic import TrafficMeter
@@ -106,7 +107,7 @@ class ReReplicationService:
         self.traffic.record("re_replication", block.size_bytes)
         self.engine.schedule_in(
             duration,
-            lambda: self._finish_repair(bid, source, target),
+            partial(self._finish_repair, bid, source, target),
             f"repair:block{bid}",
         )
 

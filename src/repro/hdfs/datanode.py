@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List
 
 from repro.cluster.node import Node
 from repro.hdfs.block import Block
+from repro.hdfs.ordered_set import OrderedSet
 from repro.hdfs.protocol import DatanodeCommand
 from repro.observability.trace import (
     BLOCK_EVICTED,
@@ -56,7 +57,9 @@ class DataNode:
         self.dynamic_bytes_used = 0
         self.dynamic_capacity_bytes = dynamic_capacity_bytes
         #: blocks marked for lazy deletion, not yet reported to the NameNode
-        self.pending_deletion: Set[int] = set()
+        #: (insertion-ordered so deletion sweeps replay identically after a
+        #: checkpoint restore)
+        self.pending_deletion: OrderedSet[int] = OrderedSet()
         self.outbox: List[DatanodeCommand] = []
         # lifetime counters for the disk-write / thrashing analyses
         self.disk_writes = 0
@@ -195,7 +198,11 @@ class DataNode:
         self.outbox = []
         return out
 
-    def stored_block_ids(self) -> Set[int]:
-        """All live block ids on this node."""
-        ids = set(self.static_blocks) | set(self.dynamic_blocks)
-        return ids - self.pending_deletion
+    def stored_block_ids(self) -> OrderedSet[int]:
+        """All live block ids on this node, in storage-insertion order."""
+        ids: OrderedSet[int] = OrderedSet(self.static_blocks)
+        for bid in self.dynamic_blocks:
+            ids.add(bid)
+        for bid in self.pending_deletion:
+            ids.discard(bid)
+        return ids

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.hdfs.block import DEFAULT_BLOCK_SIZE, Block
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.inode import INode
+from repro.hdfs.ordered_set import OrderedSet
 from repro.hdfs.placement import DefaultPlacementPolicy, PlacementPolicy
 from repro.hdfs.protocol import DNA_DYNREPL, DNA_INVALIDATE, DatanodeCommand
 from repro.observability.trace import HDFS_HEARTBEAT, NULL_TRACER, Tracer
@@ -37,7 +38,9 @@ class NameNode:
         self.tracer = tracer
         self.files: Dict[str, INode] = {}
         self.blocks: Dict[int, Block] = {}
-        self._locations: Dict[int, Set[int]] = {}
+        # insertion-ordered so replica scans (and the RNG draws they feed)
+        # are identical on both sides of a checkpoint restore
+        self._locations: Dict[int, OrderedSet[int]] = {}
         self.datanodes: Dict[int, DataNode] = {
             n.node_id: DataNode(n, tracer=tracer) for n in cluster.slaves
         }
@@ -71,7 +74,7 @@ class NameNode:
         for block in blocks:
             targets = self.placement.choose_targets(replication, writer)
             self.blocks[block.block_id] = block
-            self._locations[block.block_id] = set(targets)
+            self._locations[block.block_id] = OrderedSet(targets)
             for t in targets:
                 self.datanodes[t].store_static(block)
         self.files[name] = inode
@@ -90,7 +93,7 @@ class NameNode:
 
     # -- replica views --------------------------------------------------------
 
-    def locations(self, block_id: int) -> Set[int]:
+    def locations(self, block_id: int) -> OrderedSet[int]:
         """Node ids known (to the NameNode) to hold the block."""
         return self._locations[block_id]
 

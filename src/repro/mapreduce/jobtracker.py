@@ -1,8 +1,17 @@
-"""JobTracker: job lifecycle, task launching, and completion handling."""
+"""JobTracker: job lifecycle, task launching, and completion handling.
+
+Every event action scheduled here is a ``functools.partial`` over a bound
+method or a small ``__slots__`` callable — never a closure — so an event
+heap mid-flight can be pickled by :mod:`repro.checkpoint` and re-fired
+after restore.  For the same reason in-flight attempts are registered
+under :attr:`repro.mapreduce.task.MapTask.key` (a stable tuple) rather
+than ``id(task)``, which dangles across a pickle round-trip.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.core.manager import DareReplicationService
@@ -28,6 +37,37 @@ class DataLossError(RuntimeError):
     Raised rather than silently hanging: it means a failure plan destroyed
     all ``rf`` replicas of a block before re-replication could repair it.
     """
+
+
+class _ReadDone:
+    """Event action: the input read finished; release contention early.
+
+    A picklable stand-in for the old ``on_read_done`` closure: it must
+    both run the release and unregister it from the attempt's cleanup
+    list (so a later kill does not release twice).
+    """
+
+    __slots__ = ("rt", "release")
+
+    def __init__(self, rt: "_RunningTask", release: Callable[[], None]) -> None:
+        self.rt = rt
+        self.release = release
+
+    def __call__(self) -> None:
+        self.rt.cleanups.remove(self.release)
+        self.release()
+
+
+class _ShuffleRelease:
+    """Cleanup action: free the reducer's NIC (picklable, unlike a closure)."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node) -> None:
+        self.node = node
+
+    def __call__(self) -> None:
+        self.node.active_net_transfers -= 1
 
 
 class _RunningTask:
@@ -92,9 +132,9 @@ class JobTracker:
         self.finished = False
         self.tasktrackers: Dict[int, TaskTracker] = {}
         #: in-flight attempts by node, for failure unwinding
-        self._running_by_node: Dict[int, Dict[int, _RunningTask]] = {}
-        #: all live attempts per task (id(task) -> attempts)
-        self._attempts: Dict[int, List[_RunningTask]] = {}
+        self._running_by_node: Dict[int, Dict[Tuple, _RunningTask]] = {}
+        #: all live attempts per task (task.key -> attempts)
+        self._attempts: Dict[Tuple, List[_RunningTask]] = {}
         #: straggler mitigation (None = off, as in the paper's experiments)
         self.speculation = speculation
         self.speculative_launched = 0
@@ -125,7 +165,7 @@ class JobTracker:
         for spec in specs:
             self.engine.schedule(
                 spec.submit_time,
-                lambda s=spec: self.submit(s),
+                partial(self.submit, spec),
                 f"submit:job{spec.job_id}",
             )
 
@@ -167,7 +207,7 @@ class JobTracker:
                     self.scheduler.active_jobs,
                     now,
                     tt.node_id,
-                    lambda t: len(self._attempts.get(id(t), [])) > 1,
+                    self._has_duplicate,
                 )
                 if candidate is None:
                     break
@@ -175,20 +215,24 @@ class JobTracker:
 
     # -- map tasks ------------------------------------------------------------
 
+    def _has_duplicate(self, task: MapTask) -> bool:
+        return len(self._attempts.get(task.key, [])) > 1
+
     def _track(self, rt: _RunningTask) -> None:
-        self._running_by_node[rt.tt.node_id][id(rt.task)] = rt
-        self._attempts.setdefault(id(rt.task), []).append(rt)
+        self._running_by_node[rt.tt.node_id][rt.task.key] = rt
+        self._attempts.setdefault(rt.task.key, []).append(rt)
 
     def _remove_attempt(self, rt: _RunningTask) -> None:
         node_running = self._running_by_node.get(rt.tt.node_id, {})
-        if node_running.get(id(rt.task)) is rt:
-            node_running.pop(id(rt.task), None)
-        attempts = self._attempts.get(id(rt.task))
+        key = rt.task.key
+        if node_running.get(key) is rt:
+            node_running.pop(key, None)
+        attempts = self._attempts.get(key)
         if attempts is not None:
             if rt in attempts:
                 attempts.remove(rt)
             if not attempts:
-                self._attempts.pop(id(rt.task), None)
+                self._attempts.pop(key, None)
 
     def _launch_map(
         self, job: Job, task: MapTask, locality: Locality, tt: TaskTracker, now: float
@@ -234,26 +278,21 @@ class JobTracker:
         rt = _RunningTask(task, tt, locality=locality)
         if data_local:
             self.time_model.start_local_read(node_id)
-            release = lambda: self.time_model.end_local_read(node_id)
+            release = partial(self.time_model.end_local_read, node_id)
         else:
             self.traffic.record("remote_map_reads", block.size_bytes)
             self.time_model.start_transfer(source, node_id)
-            release = lambda: self.time_model.end_transfer(source, node_id)
+            release = partial(self.time_model.end_transfer, source, node_id)
         rt.cleanups.append(release)
-
-        def on_read_done() -> None:
-            rt.cleanups.remove(release)
-            release()
-
         rt.events.append(
             self.engine.schedule(
-                read_end, on_read_done, f"read-done:j{spec.job_id}m{task.index}"
+                read_end, _ReadDone(rt, release), f"read-done:j{spec.job_id}m{task.index}"
             )
         )
         rt.events.append(
             self.engine.schedule(
                 now + duration,
-                lambda: self._attempt_complete(job, task, rt),
+                partial(self._attempt_complete, job, task, rt),
                 f"map-done:j{spec.job_id}m{task.index}",
             )
         )
@@ -301,26 +340,21 @@ class JobTracker:
         rt = _RunningTask(task, tt, locality=locality, speculative=True)
         if data_local:
             self.time_model.start_local_read(node_id)
-            release = lambda: self.time_model.end_local_read(node_id)
+            release = partial(self.time_model.end_local_read, node_id)
         else:
             self.traffic.record("remote_map_reads", block.size_bytes)
             self.time_model.start_transfer(source, node_id)
-            release = lambda: self.time_model.end_transfer(source, node_id)
+            release = partial(self.time_model.end_transfer, source, node_id)
         rt.cleanups.append(release)
-
-        def on_read_done() -> None:
-            rt.cleanups.remove(release)
-            release()
-
         rt.events.append(
             self.engine.schedule(
-                read_end, on_read_done, f"spec-read:j{spec.job_id}m{task.index}"
+                read_end, _ReadDone(rt, release), f"spec-read:j{spec.job_id}m{task.index}"
             )
         )
         rt.events.append(
             self.engine.schedule(
                 now + duration,
-                lambda: self._attempt_complete(job, task, rt),
+                partial(self._attempt_complete, job, task, rt),
                 f"spec-done:j{spec.job_id}m{task.index}",
             )
         )
@@ -345,7 +379,7 @@ class JobTracker:
         self._remove_attempt(rt)
         rt.tt.release_map_slot()
         # kill any sibling attempts (the classic first-wins rule)
-        for sibling in list(self._attempts.get(id(task), [])):
+        for sibling in list(self._attempts.get(task.key, [])):
             for ev in sibling.events:
                 self.engine.cancel(ev)
             for cleanup in sibling.cleanups:
@@ -404,15 +438,11 @@ class JobTracker:
         node = self.cluster.node(node_id)
         node.active_net_transfers += 1
         rt = _RunningTask(task, tt)
-
-        def release() -> None:
-            node.active_net_transfers -= 1
-
-        rt.cleanups.append(release)
+        rt.cleanups.append(_ShuffleRelease(node))
         rt.events.append(
             self.engine.schedule(
                 now + duration,
-                lambda: self._reduce_complete(job, task, tt, rt),
+                partial(self._reduce_complete, job, task, tt, rt),
                 f"reduce-done:j{spec.job_id}r{task.index}",
             )
         )
@@ -475,7 +505,7 @@ class JobTracker:
             self._remove_attempt(rt)
             task = rt.task
             job = task.job
-            if self._attempts.get(id(task)):
+            if self._attempts.get(task.key):
                 # another (speculative or original) attempt is still alive
                 # elsewhere; the task keeps running there
                 self.speculative_wasted += rt.speculative

@@ -55,6 +55,11 @@ class MapTask:
         self.finish_time: Optional[float] = None
 
     @property
+    def key(self) -> tuple:
+        """Stable identity, valid across pickle round-trips (unlike id())."""
+        return ("m", self.job.spec.job_id, self.index)
+
+    @property
     def duration(self) -> float:
         """Wall-clock task duration (valid once DONE)."""
         if self.start_time is None or self.finish_time is None:
@@ -85,6 +90,11 @@ class ReduceTask:
         self.node_id: Optional[int] = None
         self.start_time: Optional[float] = None
         self.finish_time: Optional[float] = None
+
+    @property
+    def key(self) -> tuple:
+        """Stable identity, valid across pickle round-trips (unlike id())."""
+        return ("r", self.job.spec.job_id, self.index)
 
     @property
     def duration(self) -> float:

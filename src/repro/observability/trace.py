@@ -143,13 +143,17 @@ class JsonlSink:
     Flushes to the OS every ``flush_every`` records so a crashed run's
     trace is replayable up to (nearly) its last event; the runner closes
     the sink in a ``try/finally`` which flushes the remainder.
+
+    ``append=True`` continues an existing file instead of truncating it —
+    the checkpoint layer restores a run by writing the snapshot's trace
+    prefix and appending the resumed run's records after it.
     """
 
-    def __init__(self, path: str, flush_every: int = 256) -> None:
+    def __init__(self, path: str, flush_every: int = 256, append: bool = False) -> None:
         if flush_every < 1:
             raise ValueError("flush_every must be >= 1")
         self.path = path
-        self._fh = open(path, "w", encoding="utf-8")
+        self._fh = open(path, "a" if append else "w", encoding="utf-8")
         self.records_written = 0
         self._flush_every = flush_every
 
@@ -158,6 +162,11 @@ class JsonlSink:
         self._fh.write("\n")
         self.records_written += 1
         if self.records_written % self._flush_every == 0:
+            self._fh.flush()
+
+    def flush(self) -> None:
+        """Push buffered records to the OS without closing the file."""
+        if not self._fh.closed:
             self._fh.flush()
 
     def close(self) -> None:

@@ -103,6 +103,9 @@ OPTIONAL_FIELDS: Dict[str, FrozenSet[str]] = {
             "cdrm",
             "failures",
             "speculative",
+            # lossless ExperimentConfig payload (serialize.config_to_dict),
+            # the input to `replay whatif` state reconstruction
+            "config",
         }
     ),
     RUN_SUMMARY: frozenset(

@@ -13,6 +13,15 @@ Two generators feed the tests:
 * :func:`random_scenario` — seeded-random cells for the property sweep
   (`INVARIANT_EXAMPLES` controls how many; hypothesis, when installed,
   drives extra seeds through the same builder).
+
+Both funnel through :func:`scenario_from_params`, a pure mapping from
+independent dimensions (policy, scheduler, workload, failures, ...) to a
+:class:`Scenario`.  The hypothesis property in
+``test_end_to_end_properties`` draws each dimension separately and
+composes them through the same function, so a failing example shrinks
+*per dimension* — toward ``off``/``fifo``/no failures/fewest jobs — and
+the minimal counterexample describes the workload that breaks, not just
+an opaque seed.
 """
 
 from __future__ import annotations
@@ -123,23 +132,61 @@ def named_scenarios() -> Tuple[Scenario, ...]:
     )
 
 
-def random_scenario(seed: int) -> Scenario:
-    """Derive a pseudo-random scenario cell from ``seed``."""
-    rng = random.Random(seed)
-    policy = rng.choice(["off", "lru", "lfu", "et", "et"])
-    budget = rng.choice([0.05, 0.1, 0.2, 0.4])
+#: the independent dimensions a property-based shrinker should minimize,
+#: each with its simplest value first
+POLICY_CHOICES = ("off", "lru", "lfu", "et")
+SCHEDULER_CHOICES = ("fifo", "fair", "fair-skip")
+WORKLOAD_CHOICES = ("wl1", "wl2")
+BUDGET_CHOICES = (0.05, 0.1, 0.2, 0.4)
+P_CHOICES = (0.1, 0.3, 0.5, 1.0)
+
+
+def scenario_from_params(
+    policy: str,
+    scheduler: str,
+    workload: str,
+    n_jobs: int,
+    seed: int,
+    budget: float = 0.2,
+    p: float = 0.3,
+    threshold: int = 1,
+    scarlett: bool = False,
+    failures: Tuple[Tuple[float, int], ...] = (),
+    name: str = "",
+) -> Scenario:
+    """Pure mapping from independent scenario dimensions to a cell.
+
+    Every generator (seeded-random, hypothesis) builds scenarios through
+    this function, so each dimension can vary — and shrink — on its own.
+    ``p`` and ``threshold`` only matter for the ElephantTrap policy,
+    ``budget`` for any enabled policy.
+    """
     if policy == "off":
         dare = DareConfig.off()
     elif policy == "lru":
         dare = DareConfig.greedy_lru(budget=budget)
     elif policy == "lfu":
         dare = DareConfig(policy=Policy.GREEDY_LFU, budget=budget)
+    elif policy == "et":
+        dare = DareConfig.elephant_trap(p=p, threshold=threshold, budget=budget)
     else:
-        dare = DareConfig.elephant_trap(
-            p=rng.choice([0.1, 0.3, 0.5, 1.0]),
-            threshold=rng.randint(1, 3),
-            budget=budget,
-        )
+        raise ValueError(f"unknown policy {policy!r}")
+    return Scenario(
+        name=name or f"{policy}-{scheduler}-{workload}-j{n_jobs}-s{seed}",
+        dare=dare,
+        scheduler=scheduler,
+        workload=workload,
+        n_jobs=n_jobs,
+        seed=seed,
+        scarlett=scarlett,
+        failures=failures,
+    )
+
+
+def random_scenario(seed: int) -> Scenario:
+    """Derive a pseudo-random scenario cell from ``seed``."""
+    rng = random.Random(seed)
+    policy = rng.choice(["off", "lru", "lfu", "et", "et"])
     failures: Tuple[Tuple[float, int], ...] = ()
     if rng.random() < 0.35:
         # at most two distinct slave crashes: with replication 3 no block
@@ -148,13 +195,16 @@ def random_scenario(seed: int) -> Scenario:
         failures = tuple(
             sorted((round(rng.uniform(10.0, 150.0), 1), n) for n in nodes)
         )
-    return Scenario(
-        name=f"random-{seed}",
-        dare=dare,
-        scheduler=rng.choice(["fifo", "fair", "fair-skip"]),
-        workload=rng.choice(["wl1", "wl2"]),
+    return scenario_from_params(
+        policy=policy,
+        scheduler=rng.choice(SCHEDULER_CHOICES),
+        workload=rng.choice(WORKLOAD_CHOICES),
         n_jobs=rng.randint(8, 14),
         seed=seed,
+        budget=rng.choice(BUDGET_CHOICES),
+        p=rng.choice(P_CHOICES),
+        threshold=rng.randint(1, 3),
         scarlett=rng.random() < 0.25,
         failures=failures,
+        name=f"random-{seed}",
     )

@@ -129,3 +129,71 @@ class TestSweepCommand:
         assert len(traces) == 2
         for trace in traces:
             assert main(["replay", "verify", str(trace)]) == 0
+
+
+class TestCheckpointCommands:
+    def _record_trace(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(["run", "--jobs", "20", "--policy", "lru", "--seed", "7",
+                     "--trace", str(trace)]) == 0
+        return trace
+
+    def test_whatif_without_patch_is_byte_identical(self, tmp_path, capsys):
+        trace = self._record_trace(tmp_path)
+        out = tmp_path / "resumed.jsonl"
+        assert main(["replay", "whatif", str(trace), "--at", "20",
+                     "--out", str(out)]) == 0
+        assert out.read_bytes() == trace.read_bytes()
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_whatif_kill_patch_diverges(self, tmp_path, capsys):
+        trace = self._record_trace(tmp_path)
+        out = tmp_path / "whatif.jsonl"
+        assert main(["replay", "whatif", str(trace), "--at", "20",
+                     "--patch", "kill:3", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "applied: kill node 3" in stdout
+        assert "diverges from the original" in stdout
+        assert out.read_bytes() != trace.read_bytes()
+
+    def test_whatif_rejects_headerless_trace(self, tmp_path):
+        trace = tmp_path / "no-header.jsonl"
+        trace.write_text('{"type": "run.summary", "t": 0.0}\n')
+        with pytest.raises(SystemExit):
+            main(["replay", "whatif", str(trace), "--at", "5"])
+
+    def test_whatif_rejects_bad_patch(self, tmp_path):
+        trace = self._record_trace(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["replay", "whatif", str(trace), "--at", "20",
+                  "--patch", "teleport:3"])
+
+    def test_save_resume_round_trip(self, tmp_path, capsys):
+        cold = tmp_path / "cold.jsonl"
+        assert main(["run", "--jobs", "20", "--policy", "et", "--seed", "11",
+                     "--trace", str(cold)]) == 0
+        ckpt = tmp_path / "run.ckpt"
+        assert main(["checkpoint", "save", "--at", "25", "--out", str(ckpt),
+                     "--jobs", "20", "--policy", "et", "--seed", "11",
+                     "--trace", str(tmp_path / "warm.jsonl")]) == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        resumed = tmp_path / "resumed.jsonl"
+        assert main(["checkpoint", "resume", str(ckpt),
+                     "--trace", str(resumed)]) == 0
+        assert resumed.read_bytes() == cold.read_bytes()
+
+    def test_resume_with_patch(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        assert main(["checkpoint", "save", "--at", "25", "--out", str(ckpt),
+                     "--jobs", "20", "--policy", "lru", "--seed", "11"]) == 0
+        assert main(["checkpoint", "resume", str(ckpt),
+                     "--patch", "policy:et"]) == 0
+        assert "applied:" in capsys.readouterr().out
+
+    def test_resume_rejects_missing_or_corrupt_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["checkpoint", "resume", str(tmp_path / "nope.ckpt")])
+        bad = tmp_path / "bad.ckpt"
+        bad.write_bytes(b"not a pickle")
+        with pytest.raises(SystemExit):
+            main(["checkpoint", "resume", str(bad)])
