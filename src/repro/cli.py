@@ -8,6 +8,8 @@ Four subcommands cover the library's workflows::
     python -m repro synth --workload wl2 --jobs 300 --out wl2.json
     python -m repro figures --jobs 200 --only fig7,fig11
     python -m repro sweep --grid all --jobs 4 --cache-dir .sweep-cache
+    python -m repro sweep --grid all --serve :7341 --queue-path queue.json
+    python -m repro sweep --worker HOST:7341
     python -m repro replay verify trace.jsonl
     python -m repro replay diff lru.jsonl et.jsonl
     python -m repro replay whatif trace.jsonl --at 120 --patch kill:3 --out wf.jsonl
@@ -22,7 +24,11 @@ Scarlett baseline for comparisons.
 ``sweep`` runs a named grid of experiment cells (figures, sensitivity
 sweeps, ablations) across worker processes, reusing previously computed
 cells from a content-addressed result cache; ``--shard K/M`` splits a
-grid across CI jobs.
+grid across CI jobs.  ``--serve``/``--worker`` promote the same grid to
+a coordinator + remote-worker service with lease-based fault tolerance
+(crashed workers lose their leases, failed cells retry with backoff,
+stragglers are speculatively re-executed) whose results are
+byte-identical to the serial path.
 
 ``replay`` consumes the JSONL traces ``run --trace`` writes: ``summary``
 prints record counts and reconstructed headline stats, ``verify`` rebuilds
@@ -502,6 +508,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address_or_exit(spec: str):
+    from repro.experiments.service import parse_address
+
+    try:
+        return parse_address(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     import dataclasses
     import json
@@ -509,6 +524,43 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     from repro.experiments import sweep as S
     from repro.experiments.serialize import result_to_dict
+
+    if args.worker:
+        from repro.experiments import service as svc
+
+        address = _parse_address_or_exit(args.worker)
+        cache = None if args.no_cache else S.ResultCache(args.cache_dir)
+        try:
+            chaos = svc.parse_chaos(args.chaos)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        try:
+            stats = svc.run_worker(
+                address,
+                worker_id=args.worker_id or None,
+                cache=cache,
+                no_cache=args.no_cache,
+                poll_s=args.poll,
+                chaos=chaos,
+            )
+        except svc.ServiceError as exc:
+            raise SystemExit(str(exc))
+        print(f"worker {stats.worker_id}: {stats.leases} leases, "
+              f"{stats.completed} completed ({stats.cached} cached), "
+              f"{stats.failed} failed, {stats.rejected} duplicate")
+        return 0
+    if args.status:
+        from repro.experiments import service as svc
+
+        address = _parse_address_or_exit(args.status)
+        try:
+            reply = svc.request(address, {"op": "status"})
+        except (OSError, svc.ServiceError) as exc:
+            raise SystemExit(
+                f"cannot reach coordinator at {address[0]}:{address[1]}: {exc}"
+            )
+        print(json.dumps(reply.get("status", reply), indent=2, sort_keys=True))
+        return 0
 
     try:
         cells = S.build_grid(args.grid, n_jobs=args.n_jobs, seed=args.seed)
@@ -532,13 +584,43 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             for c in cells
         ]
     cache = None if args.no_cache else S.ResultCache(args.cache_dir)
-    outcomes = S.run_cells(
-        cells,
-        jobs=args.jobs,
-        cache=cache,
-        timeout_s=args.timeout or None,
-        progress=S.cache_progress(cache),
-    )
+    if args.serve:
+        from repro.experiments import service as svc
+
+        host, port = _parse_address_or_exit(args.serve)
+        coordinator = svc.Coordinator(
+            cells,
+            host=host,
+            port=port,
+            queue_path=args.queue_path,
+            cache=cache,
+            lease_s=args.lease,
+            max_attempts=args.max_attempts,
+            steal_after_s=args.steal_after or None,
+        )
+        coordinator.start()
+        bound_host, bound_port = coordinator.address
+        verb = "resumed" if coordinator.resumed else "serving"
+        print(f"coordinator listening on {bound_host}:{bound_port} "
+              f"({verb} {len(cells)} cells; lease {args.lease:g}s)", flush=True)
+        try:
+            coordinator.wait()
+        finally:
+            coordinator.close()
+        outcomes = coordinator.outcomes()
+        status = coordinator.status()
+        print(f"service: {status['leases_granted']} leases, "
+              f"{status['expirations']} expired, {status['steals']} stolen, "
+              f"{status['duplicates']} duplicate completions, "
+              f"{status['quarantined']} quarantined")
+    else:
+        outcomes = S.run_cells(
+            cells,
+            jobs=args.jobs,
+            cache=cache,
+            timeout_s=args.timeout or None,
+            progress=S.cache_progress(cache),
+        )
     n_failed = sum(1 for o in outcomes if not o.ok)
     n_cached = sum(1 for o in outcomes if o.from_cache)
     if cache is not None:
@@ -808,6 +890,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "cache reads for those cells)")
     p.add_argument("--out", default="", metavar="PATH",
                    help="write all outcomes as a JSON document to PATH")
+    service = p.add_argument_group(
+        "distributed service",
+        "run the grid as a coordinator + remote workers sharing one "
+        "result cache (see docs/SWEEP_SERVICE.md)",
+    )
+    service.add_argument("--serve", default="", metavar="HOST:PORT",
+                         help="serve this grid as a coordinator (port 0 = "
+                              "pick a free port) and exit when it is done")
+    service.add_argument("--worker", default="", metavar="HOST:PORT",
+                         help="run as a worker pulling cells from a "
+                              "coordinator until its grid is done")
+    service.add_argument("--status", default="", metavar="HOST:PORT",
+                         help="print a coordinator's queue status as JSON "
+                              "and exit")
+    service.add_argument("--queue-path", default="", metavar="PATH",
+                         help="persist the coordinator's work queue to PATH "
+                              "(an existing journal resumes the grid)")
+    service.add_argument("--lease", type=float, default=60.0, metavar="SECONDS",
+                         help="lease duration; an unrenewed lease this old "
+                              "is reclaimed (default 60)")
+    service.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                         help="quarantine a cell after N failed attempts "
+                              "(default 3)")
+    service.add_argument("--steal-after", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="idle workers steal a speculative duplicate "
+                              "lease on stragglers older than this "
+                              "(default: half the lease)")
+    service.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                         help="worker poll interval while the queue is empty")
+    service.add_argument("--worker-id", default="", metavar="ID",
+                         help="worker name in leases/status (default: "
+                              "hostname-pid)")
+    service.add_argument("--chaos", default="", metavar="SPEC",
+                         help="worker fault injection for tests: "
+                              "kill-after-lease:N, hang-after-lease:N, or "
+                              "delay-complete:SECONDS")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("report", help="run everything; write results.json + REPORT.md")

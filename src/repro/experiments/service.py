@@ -1,0 +1,935 @@
+"""Distributed sweep service: a coordinator + remote workers over TCP.
+
+:mod:`repro.experiments.sweep` fans a grid out over *local* worker
+processes.  This module promotes that executor to a small distributed
+service so one grid can scale across machines while sharing one
+content-addressed :class:`~repro.experiments.sweep.ResultCache`:
+
+* :class:`WorkQueue` — the coordinator's durable state machine.  Every
+  cell is tracked by its :func:`~repro.experiments.sweep.cache_key`
+  through ``pending -> leased -> done | quarantined``: leases are
+  time-bounded and reclaimed when they expire (a crashed or hung worker
+  just loses its lease), failures retry with exponential backoff until a
+  poison cell is quarantined after ``max_attempts``, and near the end of
+  a grid idle workers *steal* a speculative second lease on the
+  longest-running straggler (Wang/Joshi/Wornell-style task replication —
+  whichever attempt finishes first wins).  Completions are idempotent:
+  the first completion of a cell is canonical, and duplicate or late
+  completions (lease expiry followed by a slow worker reporting anyway)
+  are acknowledged but discarded deterministically.  The whole queue
+  serializes to JSON, so a restarted coordinator resumes a half-done
+  grid instead of recomputing it.
+* :class:`Coordinator` — a :mod:`socketserver` TCP server speaking a
+  JSON-lines protocol (one request line, one response line per
+  connection) that guards a :class:`WorkQueue` with a lock, pre-resolves
+  cache hits, stores completed results into its cache, and supports
+  graceful draining (stop granting leases, wait for in-flight cells).
+* :func:`run_worker` — the worker loop: lease a cell, execute it through
+  the existing :func:`~repro.experiments.sweep.run_cells` machinery
+  (jobs=1, with the worker's own cache), renew the lease from a
+  background thread while the cell runs, and report the serialized
+  result (or the failure traceback) back.  ``chaos`` specs inject
+  deterministic faults — SIGKILL or a hang right after a lease, or a
+  delayed completion — for the fault-injection tests and the CI smoke.
+
+Because every cell is deterministic and content-addressed, the service
+path is *byte-identical* to the serial ``run_cells`` path no matter how
+many workers run, die, or race (``tests/test_sweep_service.py`` and the
+CI ``sweep-service`` job assert exactly that).
+
+``python -m repro sweep --serve/--worker/--status`` exposes all of this
+on the command line; see ``docs/SWEEP_SERVICE.md`` for the protocol and
+the failure matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple, Union
+
+from repro.experiments.serialize import (
+    canonical_json,
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.sweep import (
+    CellOutcome,
+    ResultCache,
+    SweepCell,
+    WorkloadSpec,
+    cache_key,
+    run_cells,
+)
+
+#: queue journal / wire format version
+QUEUE_FORMAT = 1
+
+#: cell states
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+_STATES = (PENDING, LEASED, DONE, QUARANTINED)
+
+
+class ServiceError(RuntimeError):
+    """A worker or client could not talk to the coordinator."""
+
+
+# -- wire helpers -------------------------------------------------------------
+
+
+def parse_address(spec: str) -> Tuple[str, int]:
+    """``'HOST:PORT'`` (or bare ``'PORT'``, meaning localhost) -> tuple."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", spec
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad address {spec!r}; expected HOST:PORT")
+    if not host:
+        host = "127.0.0.1"
+    return host, port
+
+
+def request(address: Tuple[str, int], doc: Dict, timeout: float = 30.0) -> Dict:
+    """One protocol round-trip: connect, send one line, read one line."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        fh = sock.makefile("rwb")
+        fh.write(json.dumps(doc).encode() + b"\n")
+        fh.flush()
+        line = fh.readline()
+    if not line:
+        raise ServiceError("coordinator closed the connection without replying")
+    return json.loads(line)
+
+
+def cell_to_doc(cell: SweepCell) -> Dict:
+    """A :class:`SweepCell` as wire/journal-safe plain data."""
+    return {
+        "config": config_to_dict(cell.config),
+        "workload": list(cell.workload),
+        "tag": cell.tag,
+        "x": cell.x,
+    }
+
+
+def cell_from_doc(doc: Dict) -> SweepCell:
+    """Inverse of :func:`cell_to_doc`."""
+    return SweepCell(
+        config=config_from_dict(doc["config"]),
+        workload=WorkloadSpec(*doc["workload"]),
+        tag=doc["tag"],
+        x=doc["x"],
+    )
+
+
+# -- the durable work queue ---------------------------------------------------
+
+
+@dataclass
+class QueueEntry:
+    """One cell's lifecycle record inside the :class:`WorkQueue`."""
+
+    key: str
+    cell: Dict  # cell_to_doc form (journal-safe)
+    state: str = PENDING
+    attempts: int = 0
+    #: earliest wall-clock time the cell may be leased again (backoff)
+    not_before: float = 0.0
+    #: active leases: lease_id -> {"worker", "granted", "deadline"}
+    leases: Dict[str, Dict] = field(default_factory=dict)
+    error: str = ""
+    #: one line per failed attempt, for the journal/status
+    history: List[str] = field(default_factory=list)
+    result: Optional[Dict] = None
+    from_cache: bool = False
+    duplicates: int = 0
+    completed_by: str = ""
+
+    def to_doc(self) -> Dict:
+        return {
+            "key": self.key,
+            "cell": self.cell,
+            "state": self.state,
+            "attempts": self.attempts,
+            "not_before": self.not_before,
+            "leases": self.leases,
+            "error": self.error,
+            "history": self.history,
+            "result": self.result,
+            "from_cache": self.from_cache,
+            "duplicates": self.duplicates,
+            "completed_by": self.completed_by,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict) -> "QueueEntry":
+        return cls(**doc)
+
+
+class WorkQueue:
+    """Lease-based work queue over content-addressed sweep cells.
+
+    Single-threaded by design (the :class:`Coordinator` serializes access
+    with a lock); ``clock`` is injectable so tests and the hypothesis
+    state machine can drive logical time.  When ``path`` is set, every
+    transition atomically rewrites the JSON journal, and
+    :meth:`WorkQueue.load` rebuilds the queue — leases held by the dead
+    coordinator's workers are reclaimed to ``pending`` on load (without
+    charging an attempt: the restart was not the cell's fault).
+
+    Transitions:
+
+    * ``lease`` hands out the first ready pending cell; with none ready
+      it *steals* — grants a speculative duplicate lease on the leased
+      cell whose oldest lease has run longest, once that age exceeds
+      ``steal_after_s`` (straggler re-execution; ``max_leases`` bounds
+      the replication factor).
+    * ``complete`` is first-writer-wins: the first completion of a cell
+      becomes its one canonical result (cells are deterministic, so any
+      racing attempt computed identical bytes); later completions are
+      counted as duplicates and discarded, whether their lease is still
+      live, expired, or stolen-from.
+    * ``fail`` and lease expiry charge an attempt *only when the cell's
+      last active lease is gone* (a stolen sibling may still win);
+      ``attempts >= max_attempts`` quarantines the cell as poison,
+      otherwise it re-enters ``pending`` after an exponential backoff
+      (``backoff_s * 2**(attempts-1)``, capped at ``backoff_cap_s``).
+    """
+
+    def __init__(
+        self,
+        lease_s: float = 60.0,
+        max_attempts: int = 3,
+        backoff_s: float = 1.0,
+        backoff_cap_s: float = 60.0,
+        steal_after_s: Optional[float] = None,
+        max_leases: int = 2,
+        clock: Callable[[], float] = time.time,
+        path: Union[str, os.PathLike, None] = None,
+    ) -> None:
+        self.lease_s = lease_s
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.steal_after_s = lease_s / 2.0 if steal_after_s is None else steal_after_s
+        self.max_leases = max_leases
+        self._clock = clock
+        self.path = os.fspath(path) if path is not None else ""
+        self.entries: Dict[str, QueueEntry] = {}
+        self.order: List[str] = []
+        self.draining = False
+        self.lease_seq = 0
+        # counters (persisted, surfaced by the status op)
+        self.leases_granted = 0
+        self.steals = 0
+        self.expirations = 0
+        self.completions = 0
+        self.duplicates = 0
+        self.late_completions = 0
+        self.failures = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def add_cells(self, cells: Iterable[SweepCell]) -> int:
+        """Enqueue cells, deduplicated by cache key; returns how many were new.
+
+        Re-adding cells already present (e.g. resuming a journal with the
+        same grid) is a no-op per cell, so restart + re-submit is
+        idempotent.
+        """
+        added = 0
+        for cell in cells:
+            key = cache_key(cell.config, cell.workload)
+            if key in self.entries:
+                continue
+            self.entries[key] = QueueEntry(key=key, cell=cell_to_doc(cell))
+            self.order.append(key)
+            added += 1
+        if added:
+            self._save()
+        return added
+
+    def mark_cached(self, key: str, result_doc: Dict) -> None:
+        """Resolve a pending cell from the result cache (no lease needed)."""
+        entry = self.entries[key]
+        if entry.state != PENDING:
+            return
+        entry.state = DONE
+        entry.result = result_doc
+        entry.from_cache = True
+        entry.error = ""
+        self._save()
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True when every cell is done or quarantined."""
+        return all(e.state in (DONE, QUARANTINED) for e in self.entries.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Cells per state."""
+        out = {state: 0 for state in _STATES}
+        for entry in self.entries.values():
+            out[entry.state] += 1
+        return out
+
+    def active_leases(self) -> int:
+        """Number of live leases across all cells."""
+        return sum(len(e.leases) for e in self.entries.values())
+
+    def status_doc(self) -> Dict:
+        """The status snapshot served over the wire."""
+        doc = {
+            "format": QUEUE_FORMAT,
+            "total": len(self.entries),
+            "finished": self.done,
+            "draining": self.draining,
+            "active_leases": self.active_leases(),
+            "leases_granted": self.leases_granted,
+            "steals": self.steals,
+            "expirations": self.expirations,
+            "completions": self.completions,
+            "duplicates": self.duplicates,
+            "late_completions": self.late_completions,
+            "failures": self.failures,
+        }
+        doc.update(self.counts())
+        return doc
+
+    def outcomes(self) -> List[CellOutcome]:
+        """One :class:`CellOutcome` per cell, in input order."""
+        out = []
+        for key in self.order:
+            entry = self.entries[key]
+            result = None if entry.result is None else result_from_dict(entry.result)
+            out.append(CellOutcome(
+                cell=cell_from_doc(entry.cell),
+                result=result,
+                error=entry.error,
+                from_cache=entry.from_cache,
+                key=key,
+            ))
+        return out
+
+    # -- transitions ----------------------------------------------------------
+
+    def expire(self, now: Optional[float] = None) -> int:
+        """Reclaim every lease past its deadline; returns how many expired.
+
+        Dropping a cell's *last* live lease charges a failed attempt
+        (backoff, then quarantine after ``max_attempts``); dropping one of
+        several leaves the surviving attempt in charge.
+        """
+        now = self._clock() if now is None else now
+        expired = 0
+        dirty = False
+        for entry in self.entries.values():
+            if entry.state != LEASED:
+                continue
+            stale = [
+                (lid, lease) for lid, lease in entry.leases.items()
+                if lease["deadline"] <= now
+            ]
+            for lid, lease in stale:
+                del entry.leases[lid]
+                expired += 1
+                self.expirations += 1
+                dirty = True
+                if not entry.leases:
+                    self._attempt_failed(
+                        entry,
+                        f"lease {lid} (worker {lease['worker']}) expired "
+                        f"after {self.lease_s:g}s",
+                        now,
+                    )
+        if dirty:
+            self._save()
+        return expired
+
+    def lease(self, worker: str) -> Dict:
+        """Hand one cell to ``worker``; the reply doc mirrors the wire form.
+
+        Returns ``{"done": true}`` when the grid is finished (or the
+        queue is draining), ``{"wait": true, "retry_s": s}`` when nothing
+        is ready yet, else the leased cell with its ``lease_id``.
+        """
+        now = self._clock()
+        self.expire(now)
+        if self.done or self.draining:
+            return {"ok": True, "done": True}
+        entry = self._next_pending(now)
+        stolen = False
+        if entry is None:
+            entry = self._steal_candidate(now)
+            stolen = entry is not None
+        if entry is None:
+            return {"ok": True, "wait": True, "retry_s": self._retry_hint(now)}
+        lease_id = f"L{self.lease_seq}"
+        self.lease_seq += 1
+        entry.leases[lease_id] = {
+            "worker": worker,
+            "granted": now,
+            "deadline": now + self.lease_s,
+        }
+        entry.state = LEASED
+        self.leases_granted += 1
+        if stolen:
+            self.steals += 1
+        self._save()
+        return {
+            "ok": True,
+            "cell": entry.cell,
+            "key": entry.key,
+            "lease_id": lease_id,
+            "deadline_s": self.lease_s,
+            "attempt": entry.attempts + 1,
+            "stolen": stolen,
+        }
+
+    def renew(self, key: str, lease_id: str) -> bool:
+        """Extend a live lease's deadline; False if it was lost/expired."""
+        entry = self.entries.get(key)
+        if entry is None or entry.state != LEASED or lease_id not in entry.leases:
+            return False
+        entry.leases[lease_id]["deadline"] = self._clock() + self.lease_s
+        self._save()
+        return True
+
+    def complete(
+        self,
+        key: str,
+        lease_id: str,
+        result_doc: Dict,
+        worker: str = "",
+        cached: bool = False,
+    ) -> Dict:
+        """Record a finished cell; first completion wins, rest are duplicates."""
+        entry = self.entries.get(key)
+        if entry is None:
+            return {"ok": False, "error": f"unknown cell key {key!r}"}
+        if entry.state == DONE:
+            entry.duplicates += 1
+            self.duplicates += 1
+            self._save()
+            return {"ok": True, "accepted": False, "reason": "duplicate"}
+        if lease_id not in entry.leases:
+            # expired/stolen lease reporting late — the result is still the
+            # deterministic result of this cell, so it wins iff it is first
+            self.late_completions += 1
+        entry.state = DONE
+        entry.result = result_doc
+        entry.from_cache = cached
+        entry.error = ""
+        entry.leases = {}
+        entry.completed_by = worker
+        self.completions += 1
+        self._save()
+        return {"ok": True, "accepted": True}
+
+    def fail(self, key: str, lease_id: str, error: str, now: Optional[float] = None) -> Dict:
+        """Record a failed attempt under a live lease (backoff/quarantine)."""
+        now = self._clock() if now is None else now
+        entry = self.entries.get(key)
+        if entry is None:
+            return {"ok": False, "error": f"unknown cell key {key!r}"}
+        if entry.state == DONE:
+            return {"ok": True, "accepted": False, "reason": "already-done"}
+        if lease_id not in entry.leases:
+            # the lease already expired; that expiry was charged as the attempt
+            return {"ok": True, "accepted": False, "reason": "stale-lease"}
+        del entry.leases[lease_id]
+        self.failures += 1
+        if entry.leases:
+            entry.history.append(_last_line(error))
+            self._save()
+            return {"ok": True, "accepted": True, "state": entry.state}
+        self._attempt_failed(entry, error, now)
+        self._save()
+        return {"ok": True, "accepted": True, "state": entry.state}
+
+    def drain(self) -> None:
+        """Stop granting leases; in-flight cells may still complete."""
+        self.draining = True
+        self._save()
+
+    # -- internals ------------------------------------------------------------
+
+    def _next_pending(self, now: float) -> Optional[QueueEntry]:
+        for key in self.order:
+            entry = self.entries[key]
+            if entry.state == PENDING and entry.not_before <= now:
+                return entry
+        return None
+
+    def _steal_candidate(self, now: float) -> Optional[QueueEntry]:
+        """The longest-running leased straggler eligible for re-execution."""
+        best: Optional[QueueEntry] = None
+        best_age = self.steal_after_s
+        for key in self.order:
+            entry = self.entries[key]
+            if entry.state != LEASED or len(entry.leases) >= self.max_leases:
+                continue
+            oldest = min(lease["granted"] for lease in entry.leases.values())
+            age = now - oldest
+            if age >= best_age:
+                best, best_age = entry, age
+        return best
+
+    def _retry_hint(self, now: float) -> float:
+        """Seconds until something could plausibly become available."""
+        horizons = []
+        for entry in self.entries.values():
+            if entry.state == PENDING:
+                horizons.append(max(0.0, entry.not_before - now))
+            elif entry.state == LEASED:
+                horizons.append(
+                    max(0.0, min(l["deadline"] for l in entry.leases.values()) - now)
+                )
+        return min(horizons) if horizons else 1.0
+
+    def _attempt_failed(self, entry: QueueEntry, error: str, now: float) -> None:
+        entry.attempts += 1
+        entry.history.append(_last_line(error))
+        if entry.attempts >= self.max_attempts:
+            entry.state = QUARANTINED
+            entry.error = error
+        else:
+            entry.state = PENDING
+            backoff = min(
+                self.backoff_cap_s, self.backoff_s * 2 ** (entry.attempts - 1)
+            )
+            entry.not_before = now + backoff
+            entry.error = ""
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_doc(self) -> Dict:
+        """The full queue as journal-safe plain data."""
+        return {
+            "format": QUEUE_FORMAT,
+            "lease_s": self.lease_s,
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+            "backoff_cap_s": self.backoff_cap_s,
+            "steal_after_s": self.steal_after_s,
+            "max_leases": self.max_leases,
+            "lease_seq": self.lease_seq,
+            "counters": {
+                "leases_granted": self.leases_granted,
+                "steals": self.steals,
+                "expirations": self.expirations,
+                "completions": self.completions,
+                "duplicates": self.duplicates,
+                "late_completions": self.late_completions,
+                "failures": self.failures,
+            },
+            "cells": [self.entries[key].to_doc() for key in self.order],
+        }
+
+    def _save(self) -> None:
+        if not self.path:
+            return
+        tmp = f"{self.path}.{os.getpid()}.tmp"
+        with open(tmp, "w") as fh:
+            fh.write(canonical_json(self.to_doc()) + "\n")
+        os.replace(tmp, self.path)
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, os.PathLike],
+        clock: Callable[[], float] = time.time,
+    ) -> "WorkQueue":
+        """Rebuild a queue from its journal (coordinator restart).
+
+        Leases granted by the previous coordinator are reclaimed to
+        ``pending`` immediately — their workers are gone or will report
+        late, and late completions are handled by first-writer-wins.
+        """
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("format") != QUEUE_FORMAT:
+            raise ValueError(f"unsupported queue format {doc.get('format')!r}")
+        queue = cls(
+            lease_s=doc["lease_s"],
+            max_attempts=doc["max_attempts"],
+            backoff_s=doc["backoff_s"],
+            backoff_cap_s=doc["backoff_cap_s"],
+            steal_after_s=doc["steal_after_s"],
+            max_leases=doc["max_leases"],
+            clock=clock,
+            path=path,
+        )
+        queue.lease_seq = doc["lease_seq"]
+        for name, value in doc["counters"].items():
+            setattr(queue, name, value)
+        for cell_doc in doc["cells"]:
+            entry = QueueEntry.from_doc(cell_doc)
+            if entry.state == LEASED:
+                entry.leases = {}
+                entry.state = PENDING
+            queue.entries[entry.key] = entry
+            queue.order.append(entry.key)
+        return queue
+
+
+def _last_line(text: str) -> str:
+    lines = text.strip().splitlines()
+    return lines[-1] if lines else "unknown error"
+
+
+# -- the coordinator ----------------------------------------------------------
+
+
+class _ServiceServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    coordinator: "Coordinator"
+
+
+class _ServiceHandler(socketserver.StreamRequestHandler):
+    timeout = 30.0
+
+    def handle(self) -> None:  # pragma: no cover - exercised over real sockets
+        self.connection.settimeout(self.timeout)
+        try:
+            line = self.rfile.readline()
+        except OSError:
+            return
+        if not line:
+            return
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            reply = {"ok": False, "error": "request is not valid JSON"}
+        else:
+            reply = self.server.coordinator.dispatch(doc)  # type: ignore[attr-defined]
+        try:
+            self.wfile.write((json.dumps(reply, sort_keys=True) + "\n").encode())
+        except OSError:
+            pass
+
+
+class Coordinator:
+    """The sweep service's server side: a locked WorkQueue behind TCP.
+
+    Construction pre-resolves cache hits exactly like ``run_cells`` does
+    (cells that request a trace file bypass cache reads); accepted
+    completions are stored back into ``cache`` so the whole grid shares
+    one content-addressed store.  ``queue_path`` makes the queue durable:
+    if the journal already exists the grid resumes from it, with
+    ``add_cells`` deduplication absorbing the re-submitted cells.
+    """
+
+    def __init__(
+        self,
+        cells: Iterable[SweepCell],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        queue_path: Union[str, os.PathLike] = "",
+        cache: Union[ResultCache, str, None] = None,
+        lease_s: float = 60.0,
+        max_attempts: int = 3,
+        backoff_s: float = 1.0,
+        backoff_cap_s: float = 60.0,
+        steal_after_s: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if isinstance(cache, str):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self._lock = threading.Lock()
+        self._clock = clock
+        if queue_path and os.path.exists(queue_path):
+            self.queue = WorkQueue.load(queue_path, clock=clock)
+            self.resumed = True
+        else:
+            self.queue = WorkQueue(
+                lease_s=lease_s,
+                max_attempts=max_attempts,
+                backoff_s=backoff_s,
+                backoff_cap_s=backoff_cap_s,
+                steal_after_s=steal_after_s,
+                clock=clock,
+                path=queue_path,
+            )
+            self.resumed = False
+        self.queue.add_cells(cells)
+        if self.cache is not None:
+            for key in self.queue.order:
+                entry = self.queue.entries[key]
+                if entry.state != PENDING:
+                    continue
+                if entry.cell["config"].get("trace_path"):
+                    continue  # must really run so the trace gets written
+                hit = self.cache.load(key)
+                if hit is not None:
+                    self.queue.mark_cached(key, result_to_dict(hit))
+        self._server = _ServiceServer((host, port), _ServiceHandler)
+        self._server.coordinator = self
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` to the real port."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "Coordinator":
+        """Serve requests on a background thread."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def dispatch(self, doc: Dict) -> Dict:
+        """Handle one protocol request (thread-safe)."""
+        op = doc.get("op")
+        with self._lock:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "lease":
+                return self.queue.lease(str(doc.get("worker", "")))
+            if op == "renew":
+                ok = self.queue.renew(doc.get("key", ""), doc.get("lease_id", ""))
+                return {"ok": ok}
+            if op == "complete":
+                reply = self.queue.complete(
+                    doc.get("key", ""),
+                    doc.get("lease_id", ""),
+                    doc.get("result", {}),
+                    worker=str(doc.get("worker", "")),
+                    cached=bool(doc.get("cached", False)),
+                )
+                if reply.get("accepted") and self.cache is not None:
+                    self.cache.store(doc["key"], doc["result"])
+                return reply
+            if op == "fail":
+                return self.queue.fail(
+                    doc.get("key", ""),
+                    doc.get("lease_id", ""),
+                    str(doc.get("error", "")),
+                )
+            if op == "status":
+                return {"ok": True, "status": self.queue.status_doc()}
+            if op == "drain":
+                self.queue.drain()
+                return {"ok": True, "draining": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def wait(self, timeout: Optional[float] = None, poll_s: float = 0.1) -> bool:
+        """Block until the grid is done (or drained); False on timeout.
+
+        The wait loop doubles as the lease reaper: expired leases are
+        reclaimed even while no worker is polling.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                self.queue.expire()
+                finished = self.queue.done or (
+                    self.queue.draining and self.queue.active_leases() == 0
+                )
+            if finished:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(poll_s)
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop granting leases, let in-flight cells land."""
+        with self._lock:
+            self.queue.drain()
+
+    def outcomes(self) -> List[CellOutcome]:
+        """Per-cell outcomes in input order (thread-safe snapshot)."""
+        with self._lock:
+            return self.queue.outcomes()
+
+    def status(self) -> Dict:
+        """The queue's status snapshot (thread-safe)."""
+        with self._lock:
+            return self.queue.status_doc()
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- the worker ---------------------------------------------------------------
+
+
+class ChaosSpec(NamedTuple):
+    """Deterministic fault injection for tests and the CI smoke.
+
+    ``kind`` is one of ``kill-after-lease`` (SIGKILL self right after the
+    Nth lease is granted — a worker crash mid-cell), ``hang-after-lease``
+    (sleep forever holding the Nth lease — a frozen worker), or
+    ``delay-complete`` (sleep ``delay_s`` before reporting the Nth
+    completion — a straggler whose lease may expire under it).
+    """
+
+    kind: str = ""
+    n: int = 1
+    delay_s: float = 0.0
+
+
+def parse_chaos(spec: str) -> ChaosSpec:
+    """Parse ``kill-after-lease:N`` / ``hang-after-lease:N`` /
+    ``delay-complete:SECONDS`` (empty = no chaos)."""
+    if not spec:
+        return ChaosSpec()
+    kind, _, arg = spec.partition(":")
+    if kind in ("kill-after-lease", "hang-after-lease"):
+        return ChaosSpec(kind, n=int(arg) if arg else 1)
+    if kind == "delay-complete":
+        return ChaosSpec(kind, delay_s=float(arg) if arg else 1.0)
+    raise ValueError(
+        f"unknown chaos spec {spec!r}; expected kill-after-lease:N, "
+        "hang-after-lease:N, or delay-complete:SECONDS"
+    )
+
+
+@dataclass
+class WorkerStats:
+    """What one worker loop did before the grid finished."""
+
+    worker_id: str
+    leases: int = 0
+    completed: int = 0
+    cached: int = 0
+    failed: int = 0
+    rejected: int = 0  # completions the coordinator discarded as duplicates
+
+
+def run_worker(
+    address: Tuple[str, int],
+    worker_id: Optional[str] = None,
+    cache: Union[ResultCache, str, None] = None,
+    no_cache: bool = False,
+    poll_s: float = 0.5,
+    chaos: Union[str, ChaosSpec] = "",
+    max_cells: Optional[int] = None,
+    request_timeout: float = 30.0,
+) -> WorkerStats:
+    """Pull cells from a coordinator until the grid is done.
+
+    Each leased cell executes through :func:`run_cells` (jobs=1, with the
+    worker's own ``cache``) while a daemon thread renews the lease every
+    third of its deadline; the serialized result (or the traceback) is
+    then reported back.  Transient connection errors retry; a coordinator
+    that disappears *after* this worker did real work is treated as a
+    finished grid (it exits once everything is done).
+    """
+    spec = parse_chaos(chaos) if isinstance(chaos, str) else chaos
+    if isinstance(cache, str):
+        cache = ResultCache(cache)
+    stats = WorkerStats(worker_id or f"{socket.gethostname()}-{os.getpid()}")
+    connect_failures = 0
+    while True:
+        try:
+            reply = request(
+                address, {"op": "lease", "worker": stats.worker_id},
+                timeout=request_timeout,
+            )
+        except (OSError, ServiceError) as exc:
+            connect_failures += 1
+            if stats.leases and connect_failures >= 3:
+                break  # grid finished and the coordinator went away
+            if connect_failures >= 20:
+                raise ServiceError(
+                    f"cannot reach coordinator at {address[0]}:{address[1]}: {exc}"
+                )
+            time.sleep(poll_s)
+            continue
+        connect_failures = 0
+        if reply.get("done"):
+            break
+        if reply.get("wait"):
+            time.sleep(max(0.05, min(poll_s, float(reply.get("retry_s", poll_s)))))
+            continue
+        stats.leases += 1
+        key = reply["key"]
+        lease_id = reply["lease_id"]
+        if spec.kind == "kill-after-lease" and stats.leases >= spec.n:
+            os.kill(os.getpid(), signal.SIGKILL)  # mid-cell crash, no cleanup
+        if spec.kind == "hang-after-lease" and stats.leases >= spec.n:
+            while True:  # frozen worker: holds the lease forever
+                time.sleep(3600.0)
+        cell = cell_from_doc(reply["cell"])
+        stop = threading.Event()
+        renew_every = max(0.05, float(reply["deadline_s"]) / 3.0)
+
+        def _renew(key: str = key, lease_id: str = lease_id) -> None:
+            while not stop.wait(renew_every):
+                try:
+                    request(address, {
+                        "op": "renew", "key": key, "lease_id": lease_id,
+                        "worker": stats.worker_id,
+                    }, timeout=request_timeout)
+                except (OSError, ServiceError):
+                    return
+        renewer = threading.Thread(target=_renew, daemon=True)
+        renewer.start()
+        try:
+            [outcome] = run_cells([cell], jobs=1, cache=cache, no_cache=no_cache)
+        finally:
+            stop.set()
+            renewer.join(timeout=renew_every + 1.0)
+        if spec.kind == "delay-complete" and stats.leases >= spec.n:
+            time.sleep(spec.delay_s)  # straggler: lease may expire under us
+        if outcome.ok:
+            msg = {
+                "op": "complete", "worker": stats.worker_id, "key": key,
+                "lease_id": lease_id, "result": result_to_dict(outcome.result),
+                "cached": outcome.from_cache,
+            }
+        else:
+            msg = {
+                "op": "fail", "worker": stats.worker_id, "key": key,
+                "lease_id": lease_id, "error": outcome.error,
+            }
+        try:
+            ack = request(address, msg, timeout=request_timeout)
+        except (OSError, ServiceError):
+            continue  # the lease will expire and the cell be re-run
+        if not outcome.ok:
+            stats.failed += 1
+        elif ack.get("accepted"):
+            stats.completed += 1
+            if outcome.from_cache:
+                stats.cached += 1
+        else:
+            stats.rejected += 1
+        if max_cells is not None and stats.leases >= max_cells:
+            break
+    return stats

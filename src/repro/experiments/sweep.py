@@ -33,6 +33,7 @@ perfectly cacheable:
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import multiprocessing as mp
 import os
@@ -76,6 +77,9 @@ DEFAULT_SEED = 20110926
 #: config fields that cannot change the serialized result — excluded
 #: from the cache key so e.g. tracing to a different path still hits
 _KEY_EXCLUDED_FIELDS = ("trace_path", "profile", "profile_sample_every")
+
+#: per-process counter making cache temp-file names unique across threads
+_tmp_seq = itertools.count()
 
 
 class WorkloadSpec(NamedTuple):
@@ -153,9 +157,14 @@ class ResultCache:
     """On-disk result store addressed by :func:`cache_key`.
 
     Entries are canonical-JSON files under ``root/<key[:2]>/<key>.json``,
-    written atomically (temp file + rename) so a crashed writer can at
-    worst leave a truncated temp file, never a corrupt entry.  Anything
-    unreadable or unparsable loads as a miss and is re-run.
+    written atomically (unique temp file + ``os.replace``) so a crashed
+    writer can at worst leave a truncated temp file, never a corrupt
+    entry.  Concurrent writers of the same key — two sweep-service
+    workers finishing the same cell, or two coordinator handler threads
+    — are last-writer-wins: every writer renames its own private temp
+    file over the entry, so readers only ever observe one complete
+    version or none.  Anything unreadable or unparsable loads as a miss
+    and is re-run.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -185,12 +194,21 @@ class ResultCache:
         return result
 
     def store(self, key: str, result_doc: Dict) -> Path:
-        """Atomically write one serialized result; returns its path."""
+        """Atomically write one serialized result; returns its path.
+
+        The temp name is unique per (process, call): same-key races —
+        whether across processes or across threads sharing a pid — each
+        write a private file and rename it into place, so the entry is
+        always one writer's complete bytes (last writer wins).
+        """
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
-        tmp.write_text(canonical_json(result_doc) + "\n")
-        os.replace(tmp, path)
+        tmp = path.with_name(f".{key}.{os.getpid()}.{next(_tmp_seq)}.tmp")
+        try:
+            tmp.write_text(canonical_json(result_doc) + "\n")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)  # only survives if the write failed
         return path
 
     def invalidate(self, key: str) -> bool:

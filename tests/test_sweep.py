@@ -3,6 +3,7 @@
 import json
 import multiprocessing as mp
 import os
+import threading
 
 import pytest
 
@@ -209,6 +210,77 @@ class TestResultCache:
         [outcome] = run_cells([traced], cache=cache)
         assert not outcome.from_cache  # must really run to write the trace
         assert (tmp_path / "t.jsonl").exists()
+
+    def test_concurrent_writers_same_key_never_expose_partial(self, tmp_path):
+        """Racing stores of one key (the service's duplicate-completion case)
+        are last-writer-wins: a reader only ever sees one writer's complete
+        bytes, and no temp files are left behind."""
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        n_writers, n_rounds = 6, 40
+        # large distinct payloads widen the window a partial write would show
+        docs = [
+            {"writer": i, "pad": f"{i}" * 65536} for i in range(n_writers)
+        ]
+        stop = threading.Event()
+        bad: list = []
+
+        def read_loop():
+            while not stop.is_set():
+                try:
+                    text = cache.path(key).read_text()
+                except OSError:
+                    continue  # not written yet
+                try:
+                    doc = json.loads(text)
+                except ValueError:
+                    bad.append(text[:80])  # a partial file leaked
+                    return
+                if doc not in docs:
+                    bad.append(doc)
+                    return
+
+        def write_loop(i):
+            for _ in range(n_rounds):
+                cache.store(key, docs[i])
+
+        reader = threading.Thread(target=read_loop)
+        writers = [
+            threading.Thread(target=write_loop, args=(i,))
+            for i in range(n_writers)
+        ]
+        reader.start()
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+        stop.set()
+        reader.join()
+        assert not bad, f"reader saw a torn/partial cache entry: {bad[0]!r}"
+        assert json.loads(cache.path(key).read_text()) in docs
+        assert not list(tmp_path.rglob("*.tmp"))  # temp files all cleaned up
+
+    def test_concurrent_writer_processes_same_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        procs = [
+            mp.Process(target=_hammer_store, args=(str(tmp_path), key, i, 30))
+            for i in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        doc = json.loads(cache.path(key).read_text())
+        assert doc["writer"] in range(4) and len(doc["pad"]) == 65536
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+def _hammer_store(root, key, ident, rounds):
+    cache = ResultCache(root)
+    for _ in range(rounds):
+        cache.store(key, {"writer": ident, "pad": f"{ident}" * 65536})
 
 
 # -- sharding -----------------------------------------------------------------
