@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""CI smoke test for ``repro serve`` — stdlib clients only.
+
+Boots the HTTP server as a real subprocess, then checks the acceptance
+path end to end:
+
+1. four concurrent clients POST the same smoke grid; idempotency folds
+   them onto one job (exactly one ``created: true``);
+2. every client streams SSE until the ``done`` event, then GETs the
+   result — each body must be byte-identical to the serial
+   ``run_cells`` rendering computed in this process;
+3. the queue executed each distinct cell exactly once
+   (``cells_executed`` in ``/api/cluster``);
+4. a request burst from one client trips the 429 rate limit with a
+   ``Retry-After`` header while an independent client still gets 200;
+5. SIGTERM drains the server: it exits 0 and reports the drain.
+
+Run from the repo root: ``PYTHONPATH=src python scripts/server_smoke.py``
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.experiments.sweep import (
+    build_grid,
+    doc_to_text,
+    outcomes_to_doc,
+    run_cells,
+)
+
+GRID = "smoke"
+N_JOBS = 8
+SEED = 20110926
+SPEC = {"grid": GRID, "n_jobs": N_JOBS, "seed": SEED}
+CLIENTS = 4
+
+
+def check(cond: bool, message: str) -> None:
+    if not cond:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def request(port: int, method: str, path: str, client: str,
+            body: dict | None = None) -> tuple[int, dict, bytes]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"X-Client-Id": client})
+        resp = conn.getresponse()
+        raw = resp.read()
+        return resp.status, dict(resp.getheaders()), raw
+    finally:
+        conn.close()
+
+
+def stream_until_done(port: int, job_id: str, client: str) -> list[str]:
+    """Follow the job's SSE stream; return the event kinds seen."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    kinds: list[str] = []
+    try:
+        conn.request("GET", f"/api/jobs/{job_id}/events",
+                     headers={"X-Client-Id": client})
+        resp = conn.getresponse()
+        assert resp.status == 200, resp.status
+        while True:
+            line = resp.readline()
+            if not line:
+                break
+            if line.startswith(b"event:"):
+                kinds.append(line.split(b":", 1)[1].strip().decode())
+            if kinds and kinds[-1] == "done":
+                break
+    finally:
+        conn.close()
+    return kinds
+
+
+def client_run(port: int, index: int, out: dict) -> None:
+    me = f"client-{index}"
+    status, _, raw = request(port, "POST", "/api/jobs", me, SPEC)
+    check(status in (200, 202), f"{me} POST accepted (status {status})")
+    doc = json.loads(raw)
+    kinds = stream_until_done(port, doc["id"], me)
+    check(kinds[-1] == "done", f"{me} SSE stream ended with done")
+    status, _, result = request(
+        port, "GET", f"/api/jobs/{doc['id']}/result", me)
+    check(status == 200, f"{me} result ready after done event")
+    out[index] = {"id": doc["id"], "created": doc["created"],
+                  "result": result}
+
+
+def main() -> None:
+    cells = build_grid(GRID, n_jobs=N_JOBS, seed=SEED)
+    serial = doc_to_text(outcomes_to_doc(
+        run_cells(cells, jobs=1), grid=GRID, n_jobs=N_JOBS, seed=SEED,
+        provenance=False,
+    )).encode()
+
+    cache_dir = tempfile.mkdtemp(prefix="server-smoke-cache-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--cache-dir", cache_dir,
+         "--rate", "5", "--burst", "8"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        bufsize=1,
+    )
+    try:
+        banner = proc.stdout.readline()
+        check(banner.startswith("serving on http://"),
+              f"server came up ({banner.strip()!r})")
+        port = int(banner.rsplit(":", 1)[1])
+
+        # four concurrent clients, one shared grid
+        results: dict = {}
+        threads = [
+            threading.Thread(target=client_run, args=(port, i, results))
+            for i in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600)
+        check(len(results) == CLIENTS, "all clients finished")
+        check(len({r["id"] for r in results.values()}) == 1,
+              "identical submissions deduped onto one job")
+        check(sum(r["created"] for r in results.values()) == 1,
+              "exactly one submission created the job")
+        for i in range(CLIENTS):
+            check(results[i]["result"] == serial,
+                  f"client-{i} result byte-identical to serial run_cells")
+
+        status, _, raw = request(port, "GET", "/api/cluster", "observer")
+        cluster = json.loads(raw)
+        check(cluster["cells_executed"] == len(cells),
+              f"each of the {len(cells)} cells executed exactly once")
+
+        # a burst trips the limiter; an independent client is unaffected
+        codes = [request(port, "GET", "/api/healthz", "bursty")[0]
+                 for _ in range(20)]
+        check(codes.count(429) > 0, "burst client rate limited (429)")
+        status, headers, _ = request(port, "GET", "/api/healthz", "bursty")
+        if status == 429:
+            check("Retry-After" in headers, "429 carries Retry-After")
+        status, _, _ = request(port, "GET", "/api/healthz", "calm")
+        check(status == 200, "independent client unaffected by the burst")
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=120)
+        check(proc.returncode == 0, "SIGTERM drained the server (exit 0)")
+        check("server drained" in out, "drain was reported")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    print("server smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ Four subcommands cover the library's workflows::
     python -m repro sweep --grid all --jobs 4 --cache-dir .sweep-cache
     python -m repro sweep --grid all --serve :7341 --queue-path queue.json
     python -m repro sweep --worker HOST:7341
+    python -m repro serve --port 8750 --cache-dir .sweep-cache
     python -m repro replay verify trace.jsonl
     python -m repro replay diff lru.jsonl et.jsonl
     python -m repro replay whatif trace.jsonl --at 120 --patch kill:3 --out wf.jsonl
@@ -29,6 +30,11 @@ a coordinator + remote-worker service with lease-based fault tolerance
 (crashed workers lose their leases, failed cells retry with backoff,
 stragglers are speculatively re-executed) whose results are
 byte-identical to the serial path.
+
+``serve`` runs the long-lived HTTP front door (REST + SSE) over the same
+sweep machinery: clients POST grids to ``/api/jobs``, stream progress
+and trace records from ``/api/jobs/{id}/events``, and fetch result
+documents byte-identical to the serial path (see ``docs/SERVER.md``).
 
 ``replay`` consumes the JSONL traces ``run --trace`` writes: ``summary``
 prints record counts and reconstructed headline stats, ``verify`` rebuilds
@@ -523,7 +529,6 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     import os
 
     from repro.experiments import sweep as S
-    from repro.experiments.serialize import result_to_dict
 
     if args.worker:
         from repro.experiments import service as svc
@@ -559,7 +564,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"cannot reach coordinator at {address[0]}:{address[1]}: {exc}"
             )
-        print(json.dumps(reply.get("status", reply), indent=2, sort_keys=True))
+        status = reply.get("status", reply)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(svc.format_status_table(status))
         return 0
 
     try:
@@ -630,33 +639,64 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     else:
         print(f"sweep: {len(outcomes)} cells, {n_failed} failed (cache off)")
     if args.out:
-        doc = {
-            "grid": args.grid,
-            "n_jobs": args.n_jobs,
-            "seed": args.seed,
-            "shard": args.shard,
-            "cells": [
-                {
-                    "tag": o.cell.tag,
-                    "x": o.cell.x,
-                    "key": o.key,
-                    "ok": o.ok,
-                    "from_cache": o.from_cache,
-                    "error": o.error,
-                    "result": None if o.result is None else result_to_dict(o.result),
-                }
-                for o in outcomes
-            ],
-        }
+        doc = S.outcomes_to_doc(
+            outcomes, grid=args.grid, n_jobs=args.n_jobs,
+            seed=args.seed, shard=args.shard,
+        )
         with open(args.out, "w") as fh:
-            json.dump(doc, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+            fh.write(S.doc_to_text(doc))
         print(f"wrote {args.out}")
     for o in outcomes:
         if not o.ok:
             print(f"FAILED {o.cell.label()}:", file=sys.stderr)
             print("  " + o.error.strip().replace("\n", "\n  "), file=sys.stderr)
     return 1 if n_failed else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived HTTP service (REST + SSE) over the sweep executor."""
+    import asyncio
+
+    from repro.experiments.jobs import JobManager
+    from repro.experiments.sweep import ResultCache
+    from repro.server.app import Server, run_server
+    from repro.server.jobstore import JobJournal, restore
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    journal = JobJournal(args.jobstore) if args.jobstore else None
+    manager = JobManager(
+        cache=cache,
+        workers=args.workers,
+        isolation=args.isolation,
+        max_queued_jobs=args.max_jobs,
+        max_cells_per_job=args.max_cells,
+        cell_timeout_s=args.timeout or None,
+        lease_s=args.lease,
+        max_attempts=args.max_attempts,
+        journal=journal,
+    )
+    if args.jobstore:
+        adopted = restore(manager, args.jobstore)
+        if adopted:
+            print(f"restored {adopted} job(s) from {args.jobstore}", flush=True)
+    manager.start()
+    server = Server(
+        manager,
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        burst=args.burst,
+        max_body_bytes=args.max_body_bytes,
+        request_timeout_s=args.request_timeout,
+        keepalive_s=args.keepalive,
+        shutdown_grace_s=args.grace,
+    )
+    try:
+        asyncio.run(run_server(server))
+    except KeyboardInterrupt:
+        pass
+    print("server drained", flush=True)
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -902,8 +942,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run as a worker pulling cells from a "
                               "coordinator until its grid is done")
     service.add_argument("--status", default="", metavar="HOST:PORT",
-                         help="print a coordinator's queue status as JSON "
-                              "and exit")
+                         help="print a coordinator's queue status and exit")
+    service.add_argument("--json", action="store_true",
+                         help="with --status: print the raw status document "
+                              "(the same serializer the server's "
+                              "/api/cluster uses) instead of the table")
     service.add_argument("--queue-path", default="", metavar="PATH",
                          help="persist the coordinator's work queue to PATH "
                               "(an existing journal resumes the grid)")
@@ -928,6 +971,51 @@ def build_parser() -> argparse.ArgumentParser:
                               "kill-after-lease:N, hang-after-lease:N, or "
                               "delay-complete:SECONDS")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve experiment submissions over HTTP: REST API + SSE "
+             "trace streaming (see docs/SERVER.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8750,
+                   help="listen port (0 = pick a free port)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="executor threads leasing cells from the job queue")
+    p.add_argument("--isolation", choices=("process", "thread"),
+                   default="process",
+                   help="run each cell in a worker process (crash/timeout "
+                        "isolation) or in-thread")
+    p.add_argument("--cache-dir", default=".sweep-cache", metavar="DIR",
+                   help="content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and don't write the result cache")
+    p.add_argument("--jobstore", default="", metavar="PATH",
+                   help="journal submissions to PATH; an existing journal "
+                        "restores its jobs on startup")
+    p.add_argument("--max-jobs", type=int, default=16, metavar="N",
+                   help="bound on active jobs; beyond it submissions get 503")
+    p.add_argument("--max-cells", type=int, default=512, metavar="N",
+                   help="largest grid accepted per job (413 beyond)")
+    p.add_argument("--timeout", type=float, default=0.0, metavar="SECONDS",
+                   help="kill any cell exceeding this wall time "
+                        "(process isolation only; 0 = no limit)")
+    p.add_argument("--lease", type=float, default=3600.0, metavar="SECONDS")
+    p.add_argument("--max-attempts", type=int, default=2, metavar="N",
+                   help="quarantine a cell after N failed attempts")
+    p.add_argument("--rate", type=float, default=20.0, metavar="R",
+                   help="per-client request rate (tokens/second)")
+    p.add_argument("--burst", type=float, default=40.0, metavar="B",
+                   help="per-client burst allowance (bucket size)")
+    p.add_argument("--max-body-bytes", type=int, default=1_048_576)
+    p.add_argument("--request-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="per-read timeout; stalled clients are disconnected")
+    p.add_argument("--keepalive", type=float, default=15.0, metavar="SECONDS",
+                   help="SSE keepalive comment interval")
+    p.add_argument("--grace", type=float, default=30.0, metavar="SECONDS",
+                   help="shutdown grace for in-flight cells on SIGTERM")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("report", help="run everything; write results.json + REPORT.md")
     p.add_argument("--jobs", type=int, default=200)

@@ -86,6 +86,20 @@ class ServiceError(RuntimeError):
     """A worker or client could not talk to the coordinator."""
 
 
+class WorkerShutdown(Exception):
+    """Raised inside :func:`run_worker` when SIGTERM/SIGINT arrives.
+
+    The worker catches it, releases its in-flight lease back to the
+    queue (``fail`` with ``requeue`` — no attempt is charged: shutdown
+    is not the cell's fault), and exits cleanly instead of abandoning
+    the lease until expiry.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"worker received signal {signum}")
+        self.signum = signum
+
+
 # -- wire helpers -------------------------------------------------------------
 
 
@@ -241,6 +255,7 @@ class WorkQueue:
         self.duplicates = 0
         self.late_completions = 0
         self.failures = 0
+        self.releases = 0
 
     # -- membership -----------------------------------------------------------
 
@@ -307,6 +322,7 @@ class WorkQueue:
             "duplicates": self.duplicates,
             "late_completions": self.late_completions,
             "failures": self.failures,
+            "releases": self.releases,
         }
         doc.update(self.counts())
         return doc
@@ -441,8 +457,21 @@ class WorkQueue:
         self._save()
         return {"ok": True, "accepted": True}
 
-    def fail(self, key: str, lease_id: str, error: str, now: Optional[float] = None) -> Dict:
-        """Record a failed attempt under a live lease (backoff/quarantine)."""
+    def fail(
+        self,
+        key: str,
+        lease_id: str,
+        error: str,
+        now: Optional[float] = None,
+        requeue: bool = False,
+    ) -> Dict:
+        """Record a failed attempt under a live lease (backoff/quarantine).
+
+        ``requeue=True`` is a *voluntary release* — a gracefully shutting
+        down worker handing its in-flight cell back.  The cell returns to
+        ``pending`` immediately, with no attempt charged and no backoff:
+        the shutdown was not the cell's fault.
+        """
         now = self._clock() if now is None else now
         entry = self.entries.get(key)
         if entry is None:
@@ -453,6 +482,14 @@ class WorkQueue:
             # the lease already expired; that expiry was charged as the attempt
             return {"ok": True, "accepted": False, "reason": "stale-lease"}
         del entry.leases[lease_id]
+        if requeue:
+            self.releases += 1
+            entry.history.append(_last_line(error))
+            if not entry.leases:
+                entry.state = PENDING
+                entry.not_before = now
+            self._save()
+            return {"ok": True, "accepted": True, "state": entry.state}
         self.failures += 1
         if entry.leases:
             entry.history.append(_last_line(error))
@@ -537,6 +574,7 @@ class WorkQueue:
                 "duplicates": self.duplicates,
                 "late_completions": self.late_completions,
                 "failures": self.failures,
+                "releases": self.releases,
             },
             "cells": [self.entries[key].to_doc() for key in self.order],
         }
@@ -593,32 +631,76 @@ def _last_line(text: str) -> str:
     return lines[-1] if lines else "unknown error"
 
 
+def format_status_table(doc: Dict) -> str:
+    """Render a queue status document as the human-readable table.
+
+    The document is exactly :meth:`WorkQueue.status_doc` — the same
+    serialization ``repro sweep --status --json`` prints and the server's
+    ``GET /api/cluster`` embeds, so scripts parse one format and humans
+    read this table.
+    """
+    lines = [
+        f"cells: {doc['total']}  "
+        f"({doc['pending']} pending / {doc['leased']} leased / "
+        f"{doc['done']} done / {doc['quarantined']} quarantined)",
+        f"  finished        {'yes' if doc['finished'] else 'no':<6s}"
+        f"  draining        {'yes' if doc['draining'] else 'no'}",
+        f"  active leases   {doc['active_leases']:<6d}"
+        f"  leases granted  {doc['leases_granted']}",
+        f"  completions     {doc['completions']:<6d}"
+        f"  duplicates      {doc['duplicates']}",
+        f"  expirations     {doc['expirations']:<6d}"
+        f"  late            {doc['late_completions']}",
+        f"  failures        {doc['failures']:<6d}"
+        f"  steals          {doc['steals']}",
+        f"  releases        {doc.get('releases', 0)}",
+    ]
+    return "\n".join(lines)
+
+
 # -- the coordinator ----------------------------------------------------------
+
+
+#: protocol hardening defaults: a handler thread never waits longer than
+#: this for the request line, and never buffers more than this many bytes
+READ_TIMEOUT_S = 30.0
+MAX_REQUEST_BYTES = 1_048_576
 
 
 class _ServiceServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
     coordinator: "Coordinator"
+    read_timeout_s = READ_TIMEOUT_S
+    max_request_bytes = MAX_REQUEST_BYTES
 
 
 class _ServiceHandler(socketserver.StreamRequestHandler):
-    timeout = 30.0
-
     def handle(self) -> None:  # pragma: no cover - exercised over real sockets
-        self.connection.settimeout(self.timeout)
+        server = self.server
+        limit = int(server.max_request_bytes)  # type: ignore[attr-defined]
+        # a stalled client trips the read timeout and the handler thread
+        # returns; an oversized request is cut off at the size limit and
+        # rejected — either way the thread is never pinned
+        self.connection.settimeout(server.read_timeout_s)  # type: ignore[attr-defined]
         try:
-            line = self.rfile.readline()
-        except OSError:
+            line = self.rfile.readline(limit + 1)
+        except OSError:  # includes socket.timeout
             return
         if not line:
             return
-        try:
-            doc = json.loads(line)
-        except ValueError:
-            reply = {"ok": False, "error": "request is not valid JSON"}
+        if len(line) > limit:
+            reply: Dict = {
+                "ok": False,
+                "error": f"request exceeds {limit} bytes",
+            }
         else:
-            reply = self.server.coordinator.dispatch(doc)  # type: ignore[attr-defined]
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                reply = {"ok": False, "error": "request is not valid JSON"}
+            else:
+                reply = self.server.coordinator.dispatch(doc)  # type: ignore[attr-defined]
         try:
             self.wfile.write((json.dumps(reply, sort_keys=True) + "\n").encode())
         except OSError:
@@ -650,6 +732,8 @@ class Coordinator:
         backoff_cap_s: float = 60.0,
         steal_after_s: Optional[float] = None,
         clock: Callable[[], float] = time.time,
+        read_timeout_s: float = READ_TIMEOUT_S,
+        max_request_bytes: int = MAX_REQUEST_BYTES,
     ) -> None:
         if isinstance(cache, str):
             cache = ResultCache(cache)
@@ -683,6 +767,8 @@ class Coordinator:
                     self.queue.mark_cached(key, result_to_dict(hit))
         self._server = _ServiceServer((host, port), _ServiceHandler)
         self._server.coordinator = self
+        self._server.read_timeout_s = read_timeout_s
+        self._server.max_request_bytes = max_request_bytes
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -728,6 +814,7 @@ class Coordinator:
                     doc.get("key", ""),
                     doc.get("lease_id", ""),
                     str(doc.get("error", "")),
+                    requeue=bool(doc.get("requeue", False)),
                 )
             if op == "status":
                 return {"ok": True, "status": self.queue.status_doc()}
@@ -829,6 +916,9 @@ class WorkerStats:
     cached: int = 0
     failed: int = 0
     rejected: int = 0  # completions the coordinator discarded as duplicates
+    released: int = 0  # in-flight leases handed back on SIGTERM/SIGINT
+    #: signal number that stopped the loop early (0 = ran to completion)
+    stopped_by_signal: int = 0
 
 
 def run_worker(
@@ -840,6 +930,7 @@ def run_worker(
     chaos: Union[str, ChaosSpec] = "",
     max_cells: Optional[int] = None,
     request_timeout: float = 30.0,
+    handle_signals: bool = True,
 ) -> WorkerStats:
     """Pull cells from a coordinator until the grid is done.
 
@@ -849,87 +940,126 @@ def run_worker(
     then reported back.  Transient connection errors retry; a coordinator
     that disappears *after* this worker did real work is treated as a
     finished grid (it exits once everything is done).
+
+    SIGTERM/SIGINT stop the loop gracefully (``handle_signals``, main
+    thread only): the in-flight lease is *released* back to the queue —
+    ``fail`` with ``requeue``, charging no attempt — and the function
+    returns with ``stats.stopped_by_signal`` set, instead of abandoning
+    the lease until its expiry reclaims the cell.
     """
     spec = parse_chaos(chaos) if isinstance(chaos, str) else chaos
     if isinstance(cache, str):
         cache = ResultCache(cache)
     stats = WorkerStats(worker_id or f"{socket.gethostname()}-{os.getpid()}")
-    connect_failures = 0
-    while True:
-        try:
-            reply = request(
-                address, {"op": "lease", "worker": stats.worker_id},
-                timeout=request_timeout,
-            )
-        except (OSError, ServiceError) as exc:
-            connect_failures += 1
-            if stats.leases and connect_failures >= 3:
-                break  # grid finished and the coordinator went away
-            if connect_failures >= 20:
-                raise ServiceError(
-                    f"cannot reach coordinator at {address[0]}:{address[1]}: {exc}"
-                )
-            time.sleep(poll_s)
-            continue
-        connect_failures = 0
-        if reply.get("done"):
-            break
-        if reply.get("wait"):
-            time.sleep(max(0.05, min(poll_s, float(reply.get("retry_s", poll_s)))))
-            continue
-        stats.leases += 1
-        key = reply["key"]
-        lease_id = reply["lease_id"]
-        if spec.kind == "kill-after-lease" and stats.leases >= spec.n:
-            os.kill(os.getpid(), signal.SIGKILL)  # mid-cell crash, no cleanup
-        if spec.kind == "hang-after-lease" and stats.leases >= spec.n:
-            while True:  # frozen worker: holds the lease forever
-                time.sleep(3600.0)
-        cell = cell_from_doc(reply["cell"])
-        stop = threading.Event()
-        renew_every = max(0.05, float(reply["deadline_s"]) / 3.0)
 
-        def _renew(key: str = key, lease_id: str = lease_id) -> None:
-            while not stop.wait(renew_every):
-                try:
-                    request(address, {
-                        "op": "renew", "key": key, "lease_id": lease_id,
-                        "worker": stats.worker_id,
-                    }, timeout=request_timeout)
-                except (OSError, ServiceError):
-                    return
-        renewer = threading.Thread(target=_renew, daemon=True)
-        renewer.start()
-        try:
-            [outcome] = run_cells([cell], jobs=1, cache=cache, no_cache=no_cache)
-        finally:
-            stop.set()
-            renewer.join(timeout=renew_every + 1.0)
-        if spec.kind == "delay-complete" and stats.leases >= spec.n:
-            time.sleep(spec.delay_s)  # straggler: lease may expire under us
-        if outcome.ok:
-            msg = {
-                "op": "complete", "worker": stats.worker_id, "key": key,
-                "lease_id": lease_id, "result": result_to_dict(outcome.result),
-                "cached": outcome.from_cache,
-            }
-        else:
-            msg = {
-                "op": "fail", "worker": stats.worker_id, "key": key,
-                "lease_id": lease_id, "error": outcome.error,
-            }
-        try:
-            ack = request(address, msg, timeout=request_timeout)
-        except (OSError, ServiceError):
-            continue  # the lease will expire and the cell be re-run
-        if not outcome.ok:
-            stats.failed += 1
-        elif ack.get("accepted"):
-            stats.completed += 1
-            if outcome.from_cache:
-                stats.cached += 1
-        else:
-            stats.rejected += 1
-        if max_cells is not None and stats.leases >= max_cells:
-            break
+    def _on_signal(signum, frame) -> None:
+        raise WorkerShutdown(signum)
+
+    previous = {}
+    if handle_signals and threading.current_thread() is threading.main_thread():
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(sig, _on_signal)
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
+    in_flight: Optional[Tuple[str, str]] = None
+    connect_failures = 0
+    try:
+        while True:
+            try:
+                reply = request(
+                    address, {"op": "lease", "worker": stats.worker_id},
+                    timeout=request_timeout,
+                )
+            except (OSError, ServiceError) as exc:
+                connect_failures += 1
+                if stats.leases and connect_failures >= 3:
+                    break  # grid finished and the coordinator went away
+                if connect_failures >= 20:
+                    raise ServiceError(
+                        f"cannot reach coordinator at {address[0]}:{address[1]}: {exc}"
+                    )
+                time.sleep(poll_s)
+                continue
+            connect_failures = 0
+            if reply.get("done"):
+                break
+            if reply.get("wait"):
+                time.sleep(max(0.05, min(poll_s, float(reply.get("retry_s", poll_s)))))
+                continue
+            stats.leases += 1
+            key = reply["key"]
+            lease_id = reply["lease_id"]
+            in_flight = (key, lease_id)
+            if spec.kind == "kill-after-lease" and stats.leases >= spec.n:
+                os.kill(os.getpid(), signal.SIGKILL)  # mid-cell crash, no cleanup
+            if spec.kind == "hang-after-lease" and stats.leases >= spec.n:
+                while True:  # frozen worker: holds the lease forever
+                    time.sleep(3600.0)
+            cell = cell_from_doc(reply["cell"])
+            stop = threading.Event()
+            renew_every = max(0.05, float(reply["deadline_s"]) / 3.0)
+
+            def _renew(key: str = key, lease_id: str = lease_id) -> None:
+                while not stop.wait(renew_every):
+                    try:
+                        request(address, {
+                            "op": "renew", "key": key, "lease_id": lease_id,
+                            "worker": stats.worker_id,
+                        }, timeout=request_timeout)
+                    except (OSError, ServiceError):
+                        return
+            renewer = threading.Thread(target=_renew, daemon=True)
+            renewer.start()
+            try:
+                [outcome] = run_cells([cell], jobs=1, cache=cache, no_cache=no_cache)
+            finally:
+                stop.set()
+                renewer.join(timeout=renew_every + 1.0)
+            if spec.kind == "delay-complete" and stats.leases >= spec.n:
+                time.sleep(spec.delay_s)  # straggler: lease may expire under us
+            if outcome.ok:
+                msg = {
+                    "op": "complete", "worker": stats.worker_id, "key": key,
+                    "lease_id": lease_id, "result": result_to_dict(outcome.result),
+                    "cached": outcome.from_cache,
+                }
+            else:
+                msg = {
+                    "op": "fail", "worker": stats.worker_id, "key": key,
+                    "lease_id": lease_id, "error": outcome.error,
+                }
+            try:
+                ack = request(address, msg, timeout=request_timeout)
+            except (OSError, ServiceError):
+                in_flight = None
+                continue  # the lease will expire and the cell be re-run
+            in_flight = None
+            if not outcome.ok:
+                stats.failed += 1
+            elif ack.get("accepted"):
+                stats.completed += 1
+                if outcome.from_cache:
+                    stats.cached += 1
+            else:
+                stats.rejected += 1
+            if max_cells is not None and stats.leases >= max_cells:
+                break
+    except WorkerShutdown as shutdown:
+        stats.stopped_by_signal = shutdown.signum
+        if in_flight is not None:
+            key, lease_id = in_flight
+            try:
+                request(address, {
+                    "op": "fail", "worker": stats.worker_id, "key": key,
+                    "lease_id": lease_id, "requeue": True,
+                    "error": f"worker {stats.worker_id} shutting down "
+                             f"(signal {shutdown.signum})",
+                }, timeout=request_timeout)
+                stats.released += 1
+            except (OSError, ServiceError):
+                pass  # coordinator gone too; the lease will expire
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     return stats

@@ -267,6 +267,51 @@ def results_of(outcomes: Sequence[CellOutcome]) -> List[ExperimentResult]:
     return [o.result for o in outcomes]
 
 
+def outcomes_to_doc(
+    outcomes: Sequence[CellOutcome],
+    grid: str = "",
+    n_jobs: int = 0,
+    seed: int = DEFAULT_SEED,
+    shard: str = "",
+    provenance: bool = True,
+) -> Dict:
+    """The sweep's outcome document (``repro sweep --out`` / the server).
+
+    One serializer shared by every consumer, so the CLI's ``--out`` file,
+    the server's ``GET /api/jobs/{id}/result`` body, and test comparators
+    all agree byte-for-byte.  ``provenance=False`` drops the
+    ``from_cache`` flag — execution provenance that depends on cache
+    warmth, not on the cells — leaving a document fully determined by
+    the cell identities, so a cached re-serve is byte-identical to the
+    cold run that populated the cache.
+    """
+    cells = []
+    for o in outcomes:
+        cell_doc = {
+            "tag": o.cell.tag,
+            "x": o.cell.x,
+            "key": o.key,
+            "ok": o.ok,
+            "error": o.error,
+            "result": None if o.result is None else result_to_dict(o.result),
+        }
+        if provenance:
+            cell_doc["from_cache"] = o.from_cache
+        cells.append(cell_doc)
+    return {
+        "grid": grid,
+        "n_jobs": n_jobs,
+        "seed": seed,
+        "shard": shard,
+        "cells": cells,
+    }
+
+
+def doc_to_text(doc: Dict) -> str:
+    """Render an outcome document exactly as ``--out`` writes it."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
 #: progress callback: (outcome, cells done, cells total, ETA seconds)
 ProgressFn = Callable[[CellOutcome, int, int, float], None]
 

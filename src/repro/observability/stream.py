@@ -1,0 +1,120 @@
+"""Bounded, sequenced fan-out for trace records and progress events.
+
+The trace bus (:mod:`repro.observability.trace`) is a synchronous
+pub/sub: subscribers run inline on the simulation thread.  The server
+(:mod:`repro.server`) needs the opposite shape — producers publish from
+executor threads while any number of slow consumers (SSE connections)
+read at their own pace without ever blocking the simulation.
+
+:class:`RecordStream` is that bridge: a thread-safe, bounded ring of
+``(seq, kind, data)`` events.  Sequence numbers are monotonically
+increasing and never reused, so a reader that fell behind the ring
+capacity can *detect* exactly how many events it lost (``dropped``)
+instead of silently skipping them; a reader that keeps up sees every
+event.  Publishing never blocks and never waits on readers — the ring
+evicts the oldest event, which is the backpressure contract the SSE
+layer documents (``docs/SERVER.md``).
+
+Waiters are plain callables invoked (outside the lock) after every
+publish; the asyncio server registers ``loop.call_soon_threadsafe``
+wake-ups through them so SSE connections sleep until there is something
+to send.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, NamedTuple, Tuple
+
+
+class StreamEvent(NamedTuple):
+    """One published event: ``(seq, kind, data)``."""
+
+    seq: int
+    kind: str
+    data: Dict[str, object]
+
+
+class RecordStream:
+    """A bounded, sequence-numbered, thread-safe event ring.
+
+    ``capacity`` bounds memory per stream; readers poll with
+    :meth:`read_since` and learn how many events the ring evicted before
+    they got there.  :meth:`close` marks the stream finished — readers
+    drain the remaining buffered events and stop.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("stream capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[StreamEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._waiters: List[Callable[[], None]] = []
+        self.closed = False
+        #: total events evicted from the ring before any reader saw them
+        #: is per-reader (reported by read_since); this counts publishes
+        self.published = 0
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent event (0 = none yet)."""
+        with self._lock:
+            return self._seq
+
+    def publish(self, kind: str, data: Dict[str, object]) -> int:
+        """Append one event; returns its sequence number.  Never blocks."""
+        with self._lock:
+            if self.closed:
+                return self._seq
+            self._seq += 1
+            self.published += 1
+            event = StreamEvent(self._seq, kind, data)
+            self._events.append(event)
+            waiters = list(self._waiters)
+            seq = self._seq
+        for wake in waiters:
+            wake()
+        return seq
+
+    def read_since(self, seq: int) -> Tuple[List[StreamEvent], int, bool]:
+        """Events with sequence > ``seq``: ``(events, dropped, closed)``.
+
+        ``dropped`` is how many events between ``seq`` and the first
+        returned one were evicted from the ring before this reader got
+        to them (0 when the reader kept up).  ``closed`` is True once
+        the stream is finished *and* fully drained.
+        """
+        with self._lock:
+            events = [e for e in self._events if e.seq > seq]
+            if events:
+                dropped = max(0, events[0].seq - seq - 1)
+            else:
+                dropped = max(0, self._seq - seq)
+            done = self.closed and (not events or events[-1].seq == self._seq)
+        return events, dropped, done
+
+    def add_waiter(self, wake: Callable[[], None]) -> None:
+        """Register a callable invoked after every publish (and close)."""
+        with self._lock:
+            self._waiters.append(wake)
+
+    def remove_waiter(self, wake: Callable[[], None]) -> None:
+        """Unregister a waiter registered with :meth:`add_waiter`."""
+        with self._lock:
+            try:
+                self._waiters.remove(wake)
+            except ValueError:
+                pass
+
+    def close(self) -> None:
+        """Mark the stream finished; readers drain and stop (idempotent)."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            waiters = list(self._waiters)
+        for wake in waiters:
+            wake()

@@ -1,0 +1,24 @@
+"""``repro.server`` — the HTTP/SSE front door over the sweep executor.
+
+Lazy exports keep import direction clean: :mod:`repro.experiments.jobs`
+never imports this package, and importing ``repro.server`` does not pull
+in asyncio machinery until :class:`Server` is actually used.
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.app import Server
+    from repro.server.jobstore import JobJournal
+
+__all__ = ["Server", "JobJournal"]
+
+
+def __getattr__(name: str):
+    if name == "Server":
+        from repro.server.app import Server
+        return Server
+    if name == "JobJournal":
+        from repro.server.jobstore import JobJournal
+        return JobJournal
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

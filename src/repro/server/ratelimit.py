@@ -1,0 +1,96 @@
+"""Per-client token-bucket rate limiting for the API edge.
+
+One :class:`TokenBucket` per client (keyed by ``X-Client-Id`` header or
+peer address — see :mod:`repro.server.app`), refilled continuously at
+``rate`` tokens/second up to a ``burst`` ceiling.  A request costs one
+token; with none available the caller gets the number of seconds until
+one accrues, which the server surfaces as ``Retry-After`` on the 429.
+
+The clock is injectable (monotonic by default) so tests drive logical
+time, matching the queue/lease machinery's convention.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Tuple
+
+
+class TokenBucket:
+    """Continuous-refill token bucket; ``acquire`` never blocks."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def _refill(self, now: float) -> None:
+        if now > self.updated:
+            self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+
+    def acquire(self, now: float) -> float:
+        """Take one token; returns 0.0 on success, else seconds until one."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """A bucket per client id, with bounded memory.
+
+    When the client table exceeds ``max_clients``, fully-refilled idle
+    buckets are evicted (they are indistinguishable from fresh ones, so
+    dropping them is lossless).
+    """
+
+    def __init__(
+        self,
+        rate: float = 5.0,
+        burst: float = 10.0,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.allowed = 0
+        self.limited = 0
+
+    def check(self, client: str) -> Tuple[bool, float]:
+        """Charge one request to ``client``: ``(allowed, retry_after_s)``."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    self._evict(now)
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[client] = bucket
+            wait = bucket.acquire(now)
+            if wait > 0.0:
+                self.limited += 1
+                return False, wait
+            self.allowed += 1
+            return True, 0.0
+
+    def _evict(self, now: float) -> None:
+        for client, bucket in list(self._buckets.items()):
+            bucket._refill(now)
+            if bucket.tokens >= bucket.burst:
+                del self._buckets[client]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)

@@ -1,0 +1,36 @@
+"""Server-Sent Events wire formatting (no I/O here — just bytes).
+
+The SSE framing is the W3C EventSource one: each event is an ``event:``
+line naming the kind, an ``id:`` line carrying the
+:class:`~repro.observability.stream.RecordStream` sequence number (so
+clients resume with ``Last-Event-ID``), and one ``data:`` line of
+canonical JSON, terminated by a blank line.  Comments (``: ...``) are
+keepalives; clients ignore them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.serialize import canonical_json
+
+#: response headers every SSE stream carries
+HEADERS = {
+    "Content-Type": "text/event-stream; charset=utf-8",
+    "Cache-Control": "no-cache",
+    "X-Accel-Buffering": "no",
+}
+
+
+def format_event(kind: str, data: Dict, seq: Optional[int] = None) -> bytes:
+    """One SSE frame: ``event``/``id``/``data`` lines + blank terminator."""
+    lines = [f"event: {kind}"]
+    if seq is not None:
+        lines.append(f"id: {seq}")
+    lines.append(f"data: {canonical_json(data)}")
+    return ("\n".join(lines) + "\n\n").encode()
+
+
+def format_comment(text: str = "keepalive") -> bytes:
+    """An SSE comment frame (keepalive; ignored by clients)."""
+    return f": {text}\n\n".encode()

@@ -1,0 +1,129 @@
+"""Error paths of :mod:`repro.experiments.serialize`.
+
+The happy-path round-trip is exercised all over the suite (cache,
+service, checkpoint); these tests pin the *failure* behaviors consumers
+rely on — version skew detection, loud rejection of malformed documents,
+which unknown fields are tolerated vs. refused, and what happens to
+non-finite floats (they survive the repo-internal round-trip, but are
+not interoperable JSON — the HTTP edge rejects them, see
+``repro.server.http``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import DareConfig
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.serialize import (
+    canonical_json,
+    cluster_spec_from_dict,
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+    result_to_json,
+)
+from repro.workloads.swim import synthesize_wl1
+
+SEED = 20110926
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(dare=DareConfig.elephant_trap(), seed=SEED)
+    workload = synthesize_wl1(np.random.default_rng(SEED), n_jobs=2)
+    return run_experiment(config, workload)
+
+
+class TestVersionSkew:
+    @pytest.mark.parametrize("fmt", [0, 2, 99, None, "1"])
+    def test_unsupported_format_is_rejected(self, result, fmt):
+        doc = result_to_dict(result)
+        doc["format"] = fmt
+        with pytest.raises(ValueError, match="unsupported result format"):
+            result_from_dict(doc)
+
+    def test_missing_format_is_rejected(self, result):
+        doc = result_to_dict(result)
+        del doc["format"]
+        with pytest.raises(ValueError, match="unsupported result format"):
+            result_from_dict(doc)
+
+
+class TestMalformedDocuments:
+    def test_missing_result_field_raises_keyerror(self, result):
+        doc = result_to_dict(result)
+        del doc["mean_map_s"]
+        with pytest.raises(KeyError, match="mean_map_s"):
+            result_from_dict(doc)
+
+    def test_missing_config_field_raises_keyerror(self, result):
+        doc = config_to_dict(result.config)
+        del doc["seed"]
+        with pytest.raises(KeyError, match="seed"):
+            config_from_dict(doc)
+
+    def test_unknown_cluster_spec_field_is_refused(self, result):
+        doc = config_to_dict(result.config)
+        doc["cluster_spec"]["bogus_knob"] = 1
+        with pytest.raises(TypeError, match="bogus_knob"):
+            config_from_dict(doc)
+
+    def test_unknown_network_param_is_refused(self, result):
+        spec = config_to_dict(result.config)["cluster_spec"]
+        spec["network"]["warp_drive"] = True
+        with pytest.raises(TypeError, match="warp_drive"):
+            cluster_spec_from_dict(spec)
+
+    def test_unknown_policy_value_is_refused(self, result):
+        doc = config_to_dict(result.config)
+        doc["dare"]["policy"] = "clairvoyant"
+        with pytest.raises(ValueError, match="clairvoyant"):
+            config_from_dict(doc)
+
+    def test_unknown_top_level_config_keys_are_ignored(self, result):
+        # forward-tolerance: a newer writer may add fields; readers take
+        # what they know (cache keys exclude these docs anyway)
+        doc = config_to_dict(result.config)
+        doc["added_in_the_future"] = {"x": 1}
+        assert config_from_dict(doc) == result.config
+
+
+class TestNonFiniteFloats:
+    def test_round_trip_preserves_non_finite_floats(self, result):
+        doc = result_to_dict(result)
+        doc["gmtt_s"] = float("nan")
+        doc["slowdown"] = float("-inf")
+        text = canonical_json(doc)
+        # python's json emits the non-standard NaN/Infinity tokens...
+        assert "NaN" in text and "-Infinity" in text
+        back = result_from_dict(json.loads(text))
+        assert math.isnan(back.gmtt_s)
+        assert math.isinf(back.slowdown) and back.slowdown < 0
+
+    def test_non_finite_floats_are_not_interoperable_json(self, result):
+        # ...which strict encoders refuse: anything leaving the repo
+        # (the HTTP API) must reject them at the edge instead
+        doc = result_to_dict(result)
+        doc["gmtt_s"] = float("nan")
+        with pytest.raises(ValueError):
+            json.dumps(doc, allow_nan=False)
+        from repro.server.http import _reject_constant
+
+        with pytest.raises(ValueError, match="non-finite"):
+            json.loads('{"x": NaN}', parse_constant=_reject_constant)
+
+
+class TestCanonicalJson:
+    def test_key_order_and_whitespace_invariance(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == \
+            canonical_json({"a": [1, 2], "b": 1}) == '{"a":[1,2],"b":1}'
+
+    def test_equal_results_equal_bytes(self, result):
+        doc = json.loads(result_to_json(result))
+        assert canonical_json(doc) == result_to_json(result)

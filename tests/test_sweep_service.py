@@ -681,9 +681,15 @@ class TestServiceIntegration:
 
         with Coordinator(list(CELLS[:2]), lease_s=10.0) as coordinator:
             host, port = coordinator.address
-            assert main(["sweep", "--status", f"{host}:{port}"]) == 0
+            # machine-readable: the raw status_doc serializer, parseable
+            assert main(["sweep", "--status", f"{host}:{port}", "--json"]) == 0
             doc = json.loads(capsys.readouterr().out)
             assert doc["total"] == 2 and doc["pending"] == 2
+            assert doc == coordinator.status()  # one shared serializer
+            # default: the human table
+            assert main(["sweep", "--status", f"{host}:{port}"]) == 0
+            table = capsys.readouterr().out
+            assert "cells: 2" in table and "2 pending" in table
         with pytest.raises(SystemExit, match="cannot reach coordinator"):
             main(["sweep", "--status", f"{host}:{port}"])
 
@@ -699,3 +705,165 @@ class TestServiceIntegration:
                 fh.flush()
                 reply = json.loads(fh.readline())
             assert not reply["ok"] and "JSON" in reply["error"]
+
+
+# -- voluntary release (graceful worker shutdown) -----------------------------
+
+
+class TestVoluntaryRelease:
+    def test_requeue_releases_without_charging_attempt(self):
+        clock = FakeClock()
+        q = make_queue(clock, n_cells=1)
+        grant = q.lease("w1")
+        ack = q.fail(grant["key"], grant["lease_id"],
+                     "worker shutting down", requeue=True)
+        assert ack["accepted"] and ack["state"] == PENDING
+        entry = q.entries[grant["key"]]
+        assert entry.attempts == 0          # no attempt charged...
+        assert entry.not_before == clock.t  # ...and no backoff
+        assert q.releases == 1 and q.failures == 0
+        assert q.status_doc()["releases"] == 1
+        # the released cell is immediately leasable again
+        regrant = q.lease("w2")
+        assert regrant["key"] == grant["key"]
+
+    def test_requeue_with_stale_lease_is_ignored(self):
+        clock = FakeClock()
+        q = make_queue(clock, n_cells=1, lease_s=1.0)
+        grant = q.lease("w1")
+        clock.advance(5.0)
+        q.expire()  # the expiry already charged the attempt
+        ack = q.fail(grant["key"], grant["lease_id"],
+                     "late release", requeue=True)
+        assert ack["accepted"] is False and ack["reason"] == "stale-lease"
+        assert q.releases == 0
+
+    def test_requeue_with_surviving_stolen_sibling_keeps_cell_leased(self):
+        clock = FakeClock()
+        q = make_queue(clock, n_cells=1)
+        grant1 = q.lease("w1")
+        clock.advance(6.0)  # past steal_after_s=5.0, inside lease_s=10.0
+        grant2 = q.lease("w2")
+        assert grant2["stolen"]
+        ack = q.fail(grant1["key"], grant1["lease_id"],
+                     "shutdown", requeue=True)
+        assert ack["accepted"] and ack["state"] == LEASED
+        assert q.releases == 1  # the sibling attempt stays in charge
+        assert grant2["lease_id"] in q.entries[grant1["key"]].leases
+
+    def test_releases_counter_survives_journal_reload(self, tmp_path):
+        clock = FakeClock()
+        path = tmp_path / "queue.json"
+        q = make_queue(clock, n_cells=1, path=path)
+        grant = q.lease("w1")
+        q.fail(grant["key"], grant["lease_id"], "shutdown", requeue=True)
+        reloaded = WorkQueue.load(path, clock=clock)
+        assert reloaded.releases == 1
+        assert reloaded.entries[grant["key"]].state == PENDING
+
+
+# -- protocol hardening: stalled and oversized clients ------------------------
+
+
+class TestProtocolHardening:
+    def test_oversized_request_line_rejected(self):
+        import socket as socket_mod
+
+        with Coordinator(list(CELLS[:1]),
+                         max_request_bytes=1024) as coordinator:
+            with socket_mod.create_connection(
+                    coordinator.address, timeout=5) as s:
+                fh = s.makefile("rwb")
+                fh.write(b'{"op": "ping", "pad": "' + b"x" * 4096 + b'"}\n')
+                fh.flush()
+                reply = json.loads(fh.readline())
+            assert not reply["ok"] and "exceeds 1024 bytes" in reply["error"]
+            # the handler thread survived to serve the next client
+            assert request(coordinator.address, {"op": "ping"})["ok"]
+
+    def test_stalled_connection_closed_after_read_timeout(self):
+        import socket as socket_mod
+
+        with Coordinator(list(CELLS[:1]),
+                         read_timeout_s=0.3) as coordinator:
+            start = time.monotonic()
+            with socket_mod.create_connection(
+                    coordinator.address, timeout=10) as s:
+                # send nothing: the handler must hang up, not pin a thread
+                line = s.makefile("rb").readline()
+            assert line == b""  # connection closed without a reply
+            assert time.monotonic() - start < 8.0
+            assert request(coordinator.address, {"op": "ping"})["ok"]
+
+
+# -- graceful worker shutdown under a real signal -----------------------------
+
+
+class TestWorkerGracefulShutdown:
+    def test_sigterm_releases_in_flight_lease_in_process(self):
+        """run_worker in the main thread, a real SIGTERM mid-cell: the
+        in-flight lease is handed back (no attempt charged) and the grid
+        still finishes byte-identical to serial."""
+        import signal as signal_mod
+
+        cells = list(CELLS[:2])
+        serial = [result_to_json(r) for r in results_of(run_cells(cells))]
+        with Coordinator(cells, lease_s=30.0) as coordinator:
+            address = coordinator.address
+
+            def fire_once_leased():
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    if coordinator.status()[LEASED] >= 1:
+                        time.sleep(0.3)  # let run_worker set in_flight
+                        os.kill(os.getpid(), signal_mod.SIGTERM)
+                        return
+                    time.sleep(0.02)
+
+            threading.Thread(target=fire_once_leased, daemon=True).start()
+            # delay-complete holds the finished cell (and its lease) for
+            # 30s before reporting — a deterministic window for the signal
+            stats = run_worker(address, worker_id="doomed", no_cache=True,
+                               chaos="delay-complete:30")
+            assert stats.stopped_by_signal == signal_mod.SIGTERM
+            assert stats.released == 1
+            status = coordinator.status()
+            assert status["releases"] == 1 and status["failures"] == 0
+            assert status[LEASED] == 0 and status["finished"] is False
+            assert status[PENDING] >= 1  # the released cell, uncharged
+            results: list = []
+            thread = _worker_thread(address, results, worker_id="healthy")
+            assert coordinator.wait(timeout=60.0)
+            thread.join(timeout=10.0)
+            assert _service_jsons(coordinator) == serial
+
+    def test_cli_worker_sigterm_exits_cleanly_and_releases(self):
+        """The acceptance scenario with a real process: SIGTERM a CLI
+        worker mid-cell; it exits 0 and its lease returns to pending."""
+        import signal as signal_mod
+
+        cells = list(CELLS[:2])
+        with Coordinator(cells, lease_s=30.0) as coordinator:
+            port = coordinator.address[1]
+            proc = _spawn_cli_worker(port, "--chaos", "delay-complete:30")
+            try:
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    if coordinator.status()[LEASED] >= 1:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("worker never leased a cell")
+                time.sleep(0.3)
+                proc.send_signal(signal_mod.SIGTERM)
+                out, _ = proc.communicate(timeout=30.0)
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
+            assert proc.returncode == 0  # graceful exit, not a crash
+            assert b"worker" in out  # it got far enough to print stats
+            status = coordinator.status()
+            assert status["releases"] == 1
+            assert status[LEASED] == 0 and status[PENDING] >= 1
+            assert status["failures"] == 0
