@@ -15,7 +15,17 @@ or when the prefix-sharing speedup of the what-if grid drops below
 ``MIN_FORK_SPEEDUP``; this is the CI performance budget.
 Faster-than-baseline is always fine.
 ``--write-baseline`` refreshes the committed baseline after an intentional
-change (run on a quiet machine, then commit the file).
+change (run on a quiet machine, then commit the file); it merges into the
+existing baseline, so the core and ``--scale`` sets can be refreshed
+independently.
+
+``--scale`` switches to the node-count scaling benches
+(``scale_100`` .. ``scale_100k_meso``): one fixed 30-job trace per N with
+end-to-end events/sec and peak RSS, each N in its own subprocess so
+``ru_maxrss`` is per-configuration.  Under ``--check`` the 10k-node run
+must also hold a >= ``MIN_SCALE_10K_SPEEDUP`` events/sec improvement over
+the committed pre-sharding reference, and ``--scale-svg`` renders the
+scaling curve via :mod:`repro.viz`.
 
 Stdlib-only by design (``time.perf_counter`` best-of-N) so the gate does
 not depend on pytest-benchmark being installed.
@@ -27,9 +37,10 @@ import argparse
 import json
 import os
 import random
+import subprocess
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 
@@ -43,6 +54,28 @@ MIN_FORK_SPEEDUP = float(os.environ.get("BENCH_MIN_FORK_SPEEDUP", "2.0"))
 #: the machine that recorded benchmarks/baseline.json); kept so the JSON
 #: artifact documents the optimization this budget protects
 PRE_OPTIMIZATION_ENGINE_S = 0.0092
+
+#: the node-count scaling benches: one fixed-seed 30-job WL1 trace per N.
+#: ``lite`` is the event-accurate O(N) path (per-node network model, one
+#: heartbeat event per node), ``meso`` adds per-rack heartbeat hubs with
+#: idle-node pooling (the only feasible mode at 100k nodes)
+SCALE_BENCHES: Tuple[Tuple[str, int, str], ...] = (
+    ("scale_100", 100, "lite"),
+    ("scale_1k", 1_000, "lite"),
+    ("scale_10k", 10_000, "lite"),
+    ("scale_100k_meso", 100_000, "meso"),
+)
+
+#: trace length of every scaling bench (events scale with N, not jobs)
+SCALE_JOBS = 30
+
+#: end-to-end events/sec of the 10k-node lite run *before* the NameNode
+#: sharding + array-backed store rework (same machine as the committed
+#: baseline; per-pair bandwidth matrix, per-object dict hot paths)
+PRE_SHARDING_10K_EVENTS_PER_S = 5_589.0
+
+#: minimum events/sec improvement scale_10k must hold over that reference
+MIN_SCALE_10K_SPEEDUP = float(os.environ.get("BENCH_MIN_SCALE_10K_SPEEDUP", "5.0"))
 
 
 def best_of(fn: Callable[[], object], rounds: int) -> float:
@@ -258,6 +291,106 @@ def bench_fork_vs_cold(n_jobs: int) -> Dict[str, float]:
     }
 
 
+def bench_scale_one(name: str) -> Dict[str, float]:
+    """One scaling point, run inside a dedicated subprocess.
+
+    Isolation matters for the memory number: ``ru_maxrss`` is a
+    process-lifetime high-water mark, so each N must be the only
+    simulation its process ever ran.  Wall time is the full
+    ``run_experiment`` call (cluster build + event loop), matching how
+    the pre-sharding reference was measured.
+    """
+    import resource
+
+    from repro.cluster.cluster import scale_spec
+    from repro.core.config import DareConfig
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.workloads.swim import synthesize_wl1
+
+    by_name = {n: (nodes, mode) for n, nodes, mode in SCALE_BENCHES}
+    n_nodes, mode = by_name[name]
+    spec = scale_spec(
+        n_nodes,
+        mesoscale=(mode == "meso"),
+        hb_batch=True if mode == "batch" else None,
+    )
+    workload = synthesize_wl1(np.random.default_rng(20110926), n_jobs=SCALE_JOBS)
+    config = ExperimentConfig(
+        cluster_spec=spec, scheduler="fair",
+        dare=DareConfig.elephant_trap(), seed=20110926,
+    )
+    rounds = 3 if n_nodes <= 1_000 else (2 if n_nodes <= 10_000 else 1)
+    best = float("inf")
+    events = 0
+    makespan = 0.0
+    locality = 0.0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = run_experiment(config, workload)
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+        events = result.events_processed
+        makespan = result.makespan_s
+        locality = result.job_locality
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "wall_s": best,
+        "events": float(events),
+        "events_per_sec": events / best,
+        "peak_rss_mb": peak_rss_mb,
+        "makespan_s": makespan,
+        "job_locality": locality,
+        "n_nodes": float(n_nodes),
+    }
+
+
+def collect_scale() -> Dict[str, Dict[str, float]]:
+    """Run every scaling bench, each in its own subprocess."""
+    script = os.path.abspath(__file__)
+    results: Dict[str, Dict[str, float]] = {}
+    for name, n_nodes, mode in SCALE_BENCHES:
+        print(f"  {name} ({n_nodes:,} nodes, {mode}) ...", end="", flush=True)
+        proc = subprocess.run(
+            [sys.executable, script, "--scale-one", name],
+            capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            print(" FAILED")
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"scaling bench {name} failed")
+        metrics = json.loads(proc.stdout.splitlines()[-1])
+        results[name] = metrics
+        print(f" {metrics['wall_s']:.2f}s  "
+              f"{metrics['events_per_sec']:,.0f} events/s  "
+              f"rss {metrics['peak_rss_mb']:.0f}MB")
+    return results
+
+
+def write_scale_svg(results: Dict[str, Dict[str, float]], path: str) -> None:
+    """Render the scaling curve (events/sec and peak RSS vs N, log-log)."""
+    from repro.viz.svg import line_chart
+
+    ordered = [results[name] for name, _, _ in SCALE_BENCHES if name in results]
+    svg = line_chart(
+        [
+            ("events/s (end-to-end)",
+             [(m["n_nodes"], m["events_per_sec"]) for m in ordered]),
+            ("peak RSS (MB)",
+             [(m["n_nodes"], m["peak_rss_mb"]) for m in ordered]),
+        ],
+        title=f"Simulator scaling, {SCALE_JOBS}-job WL1 trace",
+        xlabel="cluster size (nodes)",
+        ylabel="events/s  /  MB (log)",
+        xlog=True,
+        ylog=True,
+    )
+    with open(path, "w") as fh:
+        fh.write(svg)
+    print(f"wrote {path}")
+
+
 def collect(n_jobs: int) -> Dict[str, Dict[str, float]]:
     """Run every benchmark and return {name: metrics}."""
     results: Dict[str, Dict[str, float]] = {}
@@ -310,6 +443,19 @@ def check_against(
     return failures
 
 
+def _write_doc(path: str, doc: Dict, merge: bool) -> None:
+    if merge and os.path.exists(path):
+        with open(path) as fh:
+            existing = json.load(fh)
+        existing.setdefault("results", {}).update(doc["results"])
+        existing.setdefault("reference", {}).update(doc.get("reference", {}))
+        doc = existing
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int,
@@ -321,47 +467,94 @@ def main(argv=None) -> int:
     parser.add_argument("--check", default="", metavar="BASELINE",
                         help="fail on > tolerance wall-time regression vs BASELINE")
     parser.add_argument("--write-baseline", default="", metavar="PATH",
-                        help="write/refresh the committed baseline file")
+                        help="merge fresh numbers into the committed baseline file")
     parser.add_argument("--tolerance", type=float, default=TOLERANCE,
                         help=f"allowed fractional regression (default {TOLERANCE})")
+    parser.add_argument("--scale", action="store_true",
+                        help="run the node-count scaling benches "
+                             "(scale_100 .. scale_100k_meso) instead of the core set")
+    parser.add_argument("--scale-svg", default="", metavar="PATH",
+                        help="with --scale: render the scaling curve as SVG")
+    parser.add_argument("--scale-one", default="", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
-    print(f"running benchmarks (e2e cell: {args.jobs} jobs) ...")
-    results = collect(args.jobs)
+    if args.scale_one:
+        # subprocess entry point for one scaling configuration: emit the
+        # metrics as a single JSON line for the parent to collect
+        print(json.dumps(bench_scale_one(args.scale_one)))
+        return 0
 
-    doc = {
-        "generated_by": "benchmarks/run_bench.py",
-        "n_jobs": args.jobs,
-        "results": results,
-        "reference": {
-            "pre_optimization_engine_event_throughput_s": PRE_OPTIMIZATION_ENGINE_S,
-            "engine_event_throughput_speedup": round(
-                PRE_OPTIMIZATION_ENGINE_S
-                / results["engine_event_throughput"]["wall_s"],
-                3,
-            ),
-        },
-    }
-    for path in (args.out, args.write_baseline):
-        if path:
-            with open(path, "w") as fh:
-                json.dump(doc, fh, indent=2, sort_keys=True)
-                fh.write("\n")
-            print(f"wrote {path}")
+    if args.scale:
+        print(f"running scaling benches ({SCALE_JOBS}-job trace per N) ...")
+        results = collect_scale()
+        speedup_10k = (
+            results["scale_10k"]["events_per_sec"] / PRE_SHARDING_10K_EVENTS_PER_S
+        )
+        doc = {
+            "generated_by": "benchmarks/run_bench.py --scale",
+            "n_jobs": SCALE_JOBS,
+            "results": results,
+            "reference": {
+                "pre_sharding_scale_10k_events_per_sec":
+                    PRE_SHARDING_10K_EVENTS_PER_S,
+                "scale_10k_speedup": round(speedup_10k, 2),
+            },
+        }
+        if args.scale_svg:
+            write_scale_svg(results, args.scale_svg)
+    else:
+        print(f"running benchmarks (e2e cell: {args.jobs} jobs) ...")
+        results = collect(args.jobs)
+        doc = {
+            "generated_by": "benchmarks/run_bench.py",
+            "n_jobs": args.jobs,
+            "results": results,
+            "reference": {
+                "pre_optimization_engine_event_throughput_s":
+                    PRE_OPTIMIZATION_ENGINE_S,
+                "engine_event_throughput_speedup": round(
+                    PRE_OPTIMIZATION_ENGINE_S
+                    / results["engine_event_throughput"]["wall_s"],
+                    3,
+                ),
+            },
+        }
+
+    if args.out:
+        _write_doc(args.out, doc, merge=False)
+    if args.write_baseline:
+        # merge so --scale and the core set can refresh independently
+        _write_doc(args.write_baseline, doc, merge=True)
 
     if args.check:
         print(f"checking against {args.check} (tolerance {args.tolerance:.0%}):")
         failures = check_against(results, args.check, args.tolerance)
-        speedup = results["checkpoint_fork_vs_cold"]["speedup"]
-        if speedup < MIN_FORK_SPEEDUP:
-            print(f"  fork-vs-cold speedup {speedup:.2f}x is below the "
-                  f"{MIN_FORK_SPEEDUP:.1f}x floor")
-            failures += 1
+        if "checkpoint_fork_vs_cold" in results:
+            speedup = results["checkpoint_fork_vs_cold"]["speedup"]
+            if speedup < MIN_FORK_SPEEDUP:
+                print(f"  fork-vs-cold speedup {speedup:.2f}x is below the "
+                      f"{MIN_FORK_SPEEDUP:.1f}x floor")
+                failures += 1
+            else:
+                print(f"  fork speedup {speedup:.2f}x >= "
+                      f"{MIN_FORK_SPEEDUP:.1f}x floor")
+        if "scale_10k" in results:
+            speedup_10k = (
+                results["scale_10k"]["events_per_sec"]
+                / PRE_SHARDING_10K_EVENTS_PER_S
+            )
+            if speedup_10k < MIN_SCALE_10K_SPEEDUP:
+                print(f"  scale_10k throughput {speedup_10k:.2f}x over the "
+                      f"pre-sharding reference is below the "
+                      f"{MIN_SCALE_10K_SPEEDUP:.1f}x floor")
+                failures += 1
+            else:
+                print(f"  scale_10k throughput {speedup_10k:.2f}x >= "
+                      f"{MIN_SCALE_10K_SPEEDUP:.1f}x over pre-sharding reference")
         if failures:
             print(f"FAILED: {failures} metric(s) over the performance budget")
             return 1
-        print(f"all metrics within budget "
-              f"(fork speedup {speedup:.2f}x >= {MIN_FORK_SPEEDUP:.1f}x)")
+        print("all metrics within budget")
     return 0
 
 

@@ -65,6 +65,54 @@ from repro.workloads.swim import Workload, synthesize_wl1, synthesize_wl2
 
 _CLUSTERS = {"cct": CCT_SPEC, "ec2": EC2_SPEC}
 
+#: hard ceiling for --nodes; the simulator is sized (and CI-gated) up to here
+MAX_SCALE_NODES = 100_000
+
+#: above this, event-accurate per-node heartbeats are a footgun: tens of
+#: millions of heartbeat events per simulated hour — require the
+#: mesoscale opt-in instead of silently grinding
+MESOSCALE_FLOOR = 25_000
+
+
+def _scale_spec_or_exit(nodes: int, mesoscale: bool, check_invariants: bool):
+    """Validate a --nodes request and build its spec, or exit with advice."""
+    from repro.cluster.cluster import scale_spec
+
+    if nodes > MAX_SCALE_NODES:
+        raise SystemExit(
+            f"--nodes {nodes:,} exceeds the supported maximum of "
+            f"{MAX_SCALE_NODES:,} (the scaling benches gate up to 100k)"
+        )
+    if mesoscale and check_invariants:
+        raise SystemExit(
+            "--mesoscale and --check-invariants are incompatible: the strict "
+            "invariant sweep audits every TaskTracker, and mesoscale pools "
+            "idle trackers away; drop one of the two flags"
+        )
+    if nodes > MESOSCALE_FLOOR and not mesoscale:
+        raise SystemExit(
+            f"--nodes {nodes:,} without --mesoscale keeps all {nodes:,} nodes "
+            f"event-accurate (per-node heartbeats); pass --mesoscale to pool "
+            f"idle nodes into rack hubs, or stay at <= {MESOSCALE_FLOOR:,} nodes"
+        )
+    try:
+        return scale_spec(nodes, mesoscale=mesoscale)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _cluster_spec(args: argparse.Namespace):
+    """The cluster for a run: --nodes builds a scale spec, else --cluster."""
+    nodes = getattr(args, "nodes", 0)
+    mesoscale = getattr(args, "mesoscale", False)
+    if not nodes:
+        if mesoscale:
+            raise SystemExit("--mesoscale requires --nodes (scale clusters only)")
+        return _CLUSTERS[args.cluster]
+    return _scale_spec_or_exit(
+        nodes, mesoscale, getattr(args, "check_invariants", False)
+    )
+
 
 def _policy(args: argparse.Namespace) -> DareConfig:
     if args.policy == "off":
@@ -169,7 +217,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         else None
     )
     config = ExperimentConfig(
-        cluster_spec=_CLUSTERS[args.cluster],
+        cluster_spec=_cluster_spec(args),
         scheduler=args.scheduler,
         dare=_policy(args),
         seed=args.seed,
@@ -575,6 +623,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         cells = S.build_grid(args.grid, n_jobs=args.n_jobs, seed=args.seed)
     except ValueError as exc:
         raise SystemExit(str(exc))
+    if args.nodes or args.mesoscale:
+        # re-run the whole grid on a synthetic scale cluster; validated
+        # up front so an infeasible combination dies here with advice,
+        # not mid-sweep with an OOM or a silent invariant skip
+        if not args.nodes:
+            raise SystemExit("--mesoscale requires --nodes (scale clusters only)")
+        spec = _scale_spec_or_exit(args.nodes, args.mesoscale, args.check_invariants)
+        cells = [
+            c._replace(config=dataclasses.replace(c.config, cluster_spec=spec))
+            for c in cells
+        ]
     if args.shard:
         try:
             cells = S.shard_cells(cells, args.shard)
@@ -744,6 +803,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wl1, wl2, a saved .json, or a SWIM .tsv")
     p.add_argument("--jobs", type=int, default=200)
     p.add_argument("--cluster", choices=sorted(_CLUSTERS), default="cct")
+    p.add_argument("--nodes", type=int, default=0, metavar="N",
+                   help="run on a synthetic scale cluster of N nodes "
+                        f"(lite network, 40-node racks; max {MAX_SCALE_NODES:,}) "
+                        "instead of --cluster")
+    p.add_argument("--mesoscale", action="store_true",
+                   help="with --nodes: pool idle nodes into per-rack hubs "
+                        f"(required above {MESOSCALE_FLOOR:,} nodes)")
     p.add_argument("--scheduler", choices=("fifo", "fair", "fair-skip"), default="fifo")
     p.add_argument("--policy", choices=("off", "lru", "et"), default="et")
     p.add_argument("--p", type=float, default=0.3, help="ElephantTrap probability")
@@ -912,6 +978,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-jobs", type=int, default=200, metavar="N",
                    help="workload length (jobs per trace) for every cell")
     p.add_argument("--seed", type=int, default=20110926)
+    p.add_argument("--nodes", type=int, default=0, metavar="N",
+                   help="run every cell on a synthetic scale cluster of N "
+                        f"nodes (max {MAX_SCALE_NODES:,}) instead of the "
+                        "grid's own clusters")
+    p.add_argument("--mesoscale", action="store_true",
+                   help="with --nodes: pool idle nodes into per-rack hubs "
+                        f"(required above {MESOSCALE_FLOOR:,} nodes)")
     p.add_argument("--cache-dir", default=".sweep-cache", metavar="DIR",
                    help="content-addressed result cache directory")
     p.add_argument("--no-cache", action="store_true",

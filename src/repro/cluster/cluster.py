@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, NamedTuple
+from typing import List, NamedTuple, Optional
 
 import numpy as np
 
@@ -42,6 +42,14 @@ class ClusterSpec(NamedTuple):
     cpu_stall_prob: float = 0.0
     #: stall magnitude: uniform multiplier range
     cpu_stall_range: tuple = (2.0, 5.0)
+    #: O(N) per-node network model instead of the O(N^2) pairwise matrix
+    #: (required beyond ~10k nodes; different draws, so opt-in)
+    lite_network: bool = False
+    #: per-rack batched heartbeat hubs instead of per-node heartbeat events
+    hb_batch: bool = False
+    #: pool idle nodes into aggregate rack actors (implies hb_batch);
+    #: nodes with tasks, replicas, or control traffic stay event-accurate
+    mesoscale: bool = False
 
 
 #: the Illinois Cloud Computing Testbed cluster of the paper:
@@ -100,18 +108,31 @@ class Cluster:
             dedicated_racks=spec.dedicated_racks,
         )
         self.network = NetworkModel(
-            self.topology, spec.network, streams.numpy("cluster.network")
+            self.topology,
+            spec.network,
+            streams.numpy("cluster.network"),
+            lite=spec.lite_network,
         )
         disk_model = DiskModel(spec.disk, streams.numpy("cluster.disk"))
         net_rng = streams.numpy("cluster.node-nics")
+        nic_jitter = (
+            net_rng.uniform(0.97, 1.03, size=spec.n_nodes)
+            if spec.lite_network
+            else None
+        )
         self.nodes: List[Node] = []
         for i in range(spec.n_nodes):
             is_master = i == 0
-            # steady per-node NIC capacity: mean of this node's pair bandwidths
-            pair_bws = self.network._pair_bw[i]
-            finite = pair_bws[np.isfinite(pair_bws)]
-            nic = float(finite.mean()) if finite.size else spec.network.bw_mean
-            nic *= float(net_rng.uniform(0.97, 1.03))
+            if nic_jitter is not None:
+                # lite model: the node's own sampled line rate, jittered
+                nic = float(self.network.node_bw(i)) * float(nic_jitter[i])
+            else:
+                # steady per-node NIC capacity: mean of this node's pair
+                # bandwidths
+                pair_bws = self.network._pair_bw[i]
+                finite = pair_bws[np.isfinite(pair_bws)]
+                nic = float(finite.mean()) if finite.size else spec.network.bw_mean
+                nic *= float(net_rng.uniform(0.97, 1.03))
             self.nodes.append(
                 Node(
                     node_id=i,
@@ -166,3 +187,41 @@ class Cluster:
 def build_cluster(spec: ClusterSpec, seed: int = 20110926) -> Cluster:
     """Build a cluster from a spec with a fresh seeded stream factory."""
     return Cluster(spec, RandomStreams(seed))
+
+
+#: nodes striped per rack in scale specs (a typical production rack row)
+SCALE_NODES_PER_RACK = 40
+
+
+def scale_spec(
+    n_nodes: int,
+    *,
+    mesoscale: bool = False,
+    hb_batch: Optional[bool] = None,
+    heartbeat_s: float = 3.0,
+    name: Optional[str] = None,
+) -> ClusterSpec:
+    """A dedicated-family spec sized for 10k-100k-node scale runs.
+
+    Uses the CCT hardware models with the O(N) lite network path and
+    ~40-node racks (production-like striping).  ``mesoscale`` pools idle
+    nodes into rack hubs; ``hb_batch`` (default: follows ``mesoscale``)
+    batches heartbeats while keeping every node event-accurate.
+    """
+    if n_nodes < 2:
+        raise ValueError("scale spec needs a master and at least one slave")
+    return ClusterSpec(
+        name=name or f"scale{n_nodes}",
+        family=DEDICATED,
+        n_nodes=n_nodes,
+        map_slots=2,
+        reduce_slots=2,
+        network=CCT_NETWORK,
+        disk=CCT_DISK,
+        heartbeat_s=heartbeat_s,
+        storage_bytes=2 * 10**12,
+        dedicated_racks=max(1, n_nodes // SCALE_NODES_PER_RACK),
+        lite_network=True,
+        hb_batch=mesoscale if hb_batch is None else hb_batch,
+        mesoscale=mesoscale,
+    )

@@ -104,12 +104,33 @@ class NetworkModel:
         topology: Topology,
         params: NetworkParams,
         rng: np.random.Generator,
+        lite: bool = False,
     ) -> None:
         self.topology = topology
         self.params = params
         self._rng = rng
+        self.lite = lite
         n = topology.n_nodes
-        self._pair_bw = self._sample_pair_bandwidths(n)
+        if lite:
+            # O(N) model for 10k-100k-node runs: one sampled line rate per
+            # node, a pair's bandwidth is the slower endpoint (same mean and
+            # spread, no N x N matrix).  Draw counts differ from the pair
+            # model, so this is strictly opt-in (ClusterSpec.lite_network).
+            self._pair_bw = None
+            self._node_bw = self._sample_node_bandwidths(n)
+        else:
+            self._node_bw = None
+            self._pair_bw = self._sample_pair_bandwidths(n)
+
+    def _sample_node_bandwidths(self, n: int) -> np.ndarray:
+        p = self.params
+        bw = self._rng.normal(p.bw_mean, p.bw_sigma, size=n)
+        if p.degraded_prob > 0:
+            mask = self._rng.random(n) < p.degraded_prob
+            bw[mask] = self._rng.uniform(
+                p.degraded_low, p.degraded_high, size=int(mask.sum())
+            )
+        return np.clip(bw, p.bw_min, p.bw_max)
 
     def _sample_pair_bandwidths(self, n: int) -> np.ndarray:
         p = self.params
@@ -152,8 +173,28 @@ class NetworkModel:
                         out.append(self.rtt_ms(a, b))
         return np.asarray(out)
 
+    def node_bw(self, node_id: int) -> float:
+        """Lite model only: the node's sampled line rate (MB/s)."""
+        if self._node_bw is None:
+            raise RuntimeError("node_bw is only defined for the lite network model")
+        return float(self._node_bw[node_id])
+
+    def _lite_pair_bw(self, a: int, b: int) -> float:
+        node_bw = self._node_bw
+        bw = min(node_bw[a], node_bw[b])
+        p = self.params
+        if p.cross_rack_factor > 1.0:
+            racks = self.topology.rack_of
+            if racks[a] != racks[b]:
+                bw = bw / p.cross_rack_factor
+        return bw
+
     def bandwidth_mbps(self, a: int, b: int) -> float:
         """Steady-state streaming bandwidth between ``a`` and ``b`` (MB/s)."""
+        if self._pair_bw is None:
+            if a == b:
+                return float("inf")
+            return float(self._lite_pair_bw(a, b))
         return float(self._pair_bw[a, b])
 
     def transfer_seconds(self, nbytes: int, a: int, b: int, contention: int = 1) -> float:
@@ -164,6 +205,9 @@ class NetworkModel:
         """
         if a == b:
             return 0.0
-        bw = self._pair_bw[a, b] / max(1, contention)
+        if self._pair_bw is None:
+            bw = self._lite_pair_bw(a, b) / max(1, contention)
+        else:
+            bw = self._pair_bw[a, b] / max(1, contention)
         setup = self.rtt_ms(a, b) / 1000.0
         return float(nbytes) / (bw * 1e6) + setup

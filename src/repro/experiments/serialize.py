@@ -53,6 +53,13 @@ def cluster_spec_to_dict(spec: ClusterSpec) -> Dict:
     d["network"] = spec.network._asdict()
     d["disk"] = spec.disk._asdict()
     d["cpu_stall_range"] = list(spec.cpu_stall_range)
+    # scale-mode flags are omitted at their defaults so pre-existing specs
+    # serialize (and content-address) exactly as before they were added;
+    # cluster_spec_from_dict restores absent keys via the NamedTuple
+    # defaults
+    for flag in ("lite_network", "hb_batch", "mesoscale"):
+        if not d[flag]:
+            del d[flag]
     return d
 
 

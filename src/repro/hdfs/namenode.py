@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.cluster.cluster import Cluster
 from repro.hdfs.block import DEFAULT_BLOCK_SIZE, Block
@@ -12,6 +12,88 @@ from repro.hdfs.ordered_set import OrderedSet
 from repro.hdfs.placement import DefaultPlacementPolicy, PlacementPolicy
 from repro.hdfs.protocol import DNA_DYNREPL, DNA_INVALIDATE, DatanodeCommand
 from repro.observability.trace import HDFS_HEARTBEAT, NULL_TRACER, Tracer
+
+
+class ReplicaSet(OrderedSet[int]):
+    """One block's location set, wired into the NameNode's replica indexes.
+
+    Every mutation — wherever it originates (heartbeat control plane,
+    repair, Scarlett/CDRM rebalancing, tests poking ``_locations``
+    directly) — keeps three structures consistent:
+
+    * ``rack_counts``: replicas per rack, the rack-shard the locality scan
+      (:meth:`repro.mapreduce.job.Job.find_pending_map`) tests in O(1)
+      instead of an ``isdisjoint`` over the rack's member set;
+    * the NameNode's per-node reverse index (``_blocks_on``), which turns
+      ``fail_node`` from a full block-map scan into a per-node lookup;
+    * the NameNode's incremental under-replicated set (``_under``).
+
+    Iteration order stays insertion order (it feeds RNG draws downstream),
+    and pickling restores entries through ``__setitem__``.  The backref and
+    the derived ``rack_counts`` are deliberately *not* pickled — they are
+    pure functions of the membership and the (static) topology, and
+    carrying one index dict per block roughly doubles snapshot cost — so a
+    ReplicaSet is only fully usable again after
+    :meth:`NameNode.__setstate__` has re-linked it.
+    """
+
+    __slots__ = ("_nn", "block_id", "rf", "rack_counts")
+
+    def __getstate__(self):
+        # membership travels as dict items; _nn and rack_counts are
+        # rebuilt by NameNode.__setstate__
+        return (self.block_id, self.rf)
+
+    def __setstate__(self, state) -> None:
+        self.block_id, self.rf = state
+
+    def __init__(
+        self, nn: "NameNode", block_id: int, rf: int, targets: tuple = ()
+    ) -> None:
+        super().__init__()
+        self._nn = nn
+        self.block_id = block_id
+        self.rf = rf
+        self.rack_counts: Dict[int, int] = {}
+        for t in targets:
+            self.add(t)
+        if len(self) < rf:
+            # short placement (fewer slaves than the replication factor):
+            # under-replicated from birth, not only after a discard
+            nn._under.add(block_id)
+
+    def add(self, node_id: int) -> None:
+        if node_id in self:
+            return
+        dict.__setitem__(self, node_id, None)
+        nn = self._nn
+        rack = nn._rack_of[node_id]
+        self.rack_counts[rack] = self.rack_counts.get(rack, 0) + 1
+        nn._blocks_on.setdefault(node_id, set()).add(self.block_id)
+        if len(self) >= self.rf:
+            nn._under.discard(self.block_id)
+
+    def discard(self, node_id: int) -> None:
+        if node_id not in self:
+            return
+        dict.pop(self, node_id, None)
+        nn = self._nn
+        rack = nn._rack_of[node_id]
+        left = self.rack_counts.get(rack, 0) - 1
+        if left > 0:
+            self.rack_counts[rack] = left
+        else:
+            self.rack_counts.pop(rack, None)
+        holder = nn._blocks_on.get(node_id)
+        if holder is not None:
+            holder.discard(self.block_id)
+        if len(self) < self.rf:
+            nn._under.add(self.block_id)
+
+    def remove(self, node_id: int) -> None:
+        if node_id not in self:
+            raise KeyError(node_id)
+        self.discard(node_id)
 
 
 class NameNode:
@@ -24,6 +106,11 @@ class NameNode:
     over-replicated blocks (implementation change (b) in Section V-A) —
     dynamic replicas may push a block's replica count above the file's
     nominal replication factor without triggering re-replication or pruning.
+
+    Block ids are dense and ascending, so the hottest read path — the
+    locality scan — indexes ``_locs_by_id`` (a list sharing the same
+    :class:`ReplicaSet` objects as the ``_locations`` dict) instead of
+    hashing into the global block map.
     """
 
     def __init__(
@@ -38,9 +125,19 @@ class NameNode:
         self.tracer = tracer
         self.files: Dict[str, INode] = {}
         self.blocks: Dict[int, Block] = {}
+        # python-int rack ids (topology.rack_of holds numpy scalars, too
+        # slow to hash on the per-mutation index updates)
+        self._rack_of: List[int] = [int(r) for r in cluster.topology.rack_of]
+        #: node id -> block ids the NameNode's view places on that node
+        self._blocks_on: Dict[int, Set[int]] = {}
+        #: block ids whose live replica count is below the file's factor
+        self._under: Set[int] = set()
         # insertion-ordered so replica scans (and the RNG draws they feed)
-        # are identical on both sides of a checkpoint restore
-        self._locations: Dict[int, OrderedSet[int]] = {}
+        # are identical on both sides of a checkpoint restore; keys are
+        # ascending block ids (allocation order)
+        self._locations: Dict[int, ReplicaSet] = {}
+        #: dense block-id -> ReplicaSet, aliasing _locations' values
+        self._locs_by_id: List[ReplicaSet] = []
         self.datanodes: Dict[int, DataNode] = {
             n.node_id: DataNode(n, tracer=tracer) for n in cluster.slaves
         }
@@ -53,6 +150,35 @@ class NameNode:
         self._next_block_id = 0
         #: applied control messages, for tests / invariant checks
         self.command_log: List[DatanodeCommand] = []
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        # the replica indexes are derived state: dropping them (and the
+        # per-set counters, see ReplicaSet.__getstate__) keeps checkpoint
+        # snapshots at their pre-index size
+        state = self.__dict__.copy()
+        for key in ("_blocks_on", "_under", "_locs_by_id"):
+            del state[key]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._blocks_on = {}
+        self._under = set()
+        self._locs_by_id = []
+        rack_of = self._rack_of
+        for locs in self._locations.values():
+            locs._nn = self
+            counts: Dict[int, int] = {}
+            for node_id in locs:
+                rack = rack_of[node_id]
+                counts[rack] = counts.get(rack, 0) + 1
+                self._blocks_on.setdefault(node_id, set()).add(locs.block_id)
+            locs.rack_counts = counts
+            if len(locs) < locs.rf:
+                self._under.add(locs.block_id)
+            self._locs_by_id.append(locs)
 
     # -- namespace ----------------------------------------------------------
 
@@ -74,7 +200,9 @@ class NameNode:
         for block in blocks:
             targets = self.placement.choose_targets(replication, writer)
             self.blocks[block.block_id] = block
-            self._locations[block.block_id] = OrderedSet(targets)
+            locs = ReplicaSet(self, block.block_id, replication, tuple(targets))
+            self._locations[block.block_id] = locs
+            self._locs_by_id.append(locs)
             for t in targets:
                 self.datanodes[t].store_static(block)
         self.files[name] = inode
@@ -93,17 +221,17 @@ class NameNode:
 
     # -- replica views --------------------------------------------------------
 
-    def locations(self, block_id: int) -> OrderedSet[int]:
+    def locations(self, block_id: int) -> ReplicaSet:
         """Node ids known (to the NameNode) to hold the block."""
         return self._locations[block_id]
 
     def is_local(self, block_id: int, node_id: int) -> bool:
         """True when the NameNode's view places a replica on ``node_id``."""
-        return node_id in self._locations[block_id]
+        return node_id in self._locs_by_id[block_id]
 
     def replica_count(self, block_id: int) -> int:
         """Current replica count in the NameNode's view."""
-        return len(self._locations[block_id])
+        return len(self._locs_by_id[block_id])
 
     def datanode(self, node_id: int) -> DataNode:
         """The DataNode running on ``node_id``."""
@@ -161,18 +289,29 @@ class NameNode:
         Returns ``{block_id: remaining_replicas}`` for each block that lost
         a replica — the input to re-replication.  The node's queued control
         messages are dropped (a dead node never heartbeats again).
+
+        The per-node reverse index makes this O(blocks on the node) rather
+        than a scan of the whole block map; the emitted ordering — stored
+        blocks first (DataNode insertion order), then stale announced-only
+        entries ascending by block id — matches the original full-scan
+        implementation exactly, because the block map's iteration order is
+        allocation order.
         """
         dn = self.datanodes[node_id]
         dn.outbox.clear()
         lost: Dict[int, int] = {}
+        locs_by_id = self._locs_by_id
         for bid in list(dn.stored_block_ids()) + list(dn.pending_deletion):
-            locs = self._locations[bid]
+            locs = locs_by_id[bid]
             if node_id in locs:
                 locs.discard(node_id)
                 lost[bid] = len(locs)
-        # also clear any stale location entries (e.g. announced replicas)
-        for bid, locs in self._locations.items():
-            if node_id in locs:
+        # stale location entries (e.g. announced replicas) via the reverse
+        # index; the first pass already removed its bids from it
+        stale = self._blocks_on.get(node_id)
+        if stale:
+            for bid in sorted(stale):
+                locs = locs_by_id[bid]
                 locs.discard(node_id)
                 lost[bid] = len(locs)
         dn.static_blocks.clear()
@@ -183,12 +322,8 @@ class NameNode:
 
     def under_replicated(self) -> Dict[int, int]:
         """Blocks whose live replica count is below the file's factor."""
-        out: Dict[int, int] = {}
-        for bid, locs in self._locations.items():
-            rf = self.blocks[bid].inode.replication
-            if len(locs) < rf:
-                out[bid] = len(locs)
-        return out
+        locs_by_id = self._locs_by_id
+        return {bid: len(locs_by_id[bid]) for bid in sorted(self._under)}
 
     def add_repaired_replica(self, block_id: int, node_id: int) -> None:
         """Install a re-replicated block on a target node."""

@@ -6,14 +6,40 @@ cluster), second on a node in a different rack, third on a different node in
 the same rack as the second, and any further replicas on random nodes.  On a
 single-rack cluster (CCT) this degenerates to distinct random nodes, which is
 Hadoop's actual behaviour there too.
+
+Draws are order statistics over rack shards: instead of materialising an
+O(N) candidate list per replica (ruinous at 10k-100k nodes), the policy
+draws ``randrange(n_candidates)`` and resolves the k-th eligible node with
+a bisect over per-rack sorted id arrays.  ``random.Random.choice(seq)`` and
+``randrange(len(seq))`` consume the identical underlying ``_randbelow``
+stream, so placements are byte-identical to the candidate-list
+implementation — the determinism suite holds this property.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.topology import Topology
+
+
+def _kth_excluding(ids: List[int], skip_sorted: List[int], k: int) -> int:
+    """The ``k``-th element of ascending ``ids`` after removing ``skip_sorted``.
+
+    Each skip value at or before the running answer shifts it one slot
+    right; skip values past it cannot affect the answer.  O(|skip| log N).
+    """
+    idx = k
+    for s in skip_sorted:
+        pos = bisect_left(ids, s)
+        if pos < len(ids) and ids[pos] == s:
+            if pos <= idx:
+                idx += 1
+            else:
+                break
+    return ids[idx]
 
 
 class PlacementPolicy:
@@ -42,32 +68,66 @@ class DefaultPlacementPolicy(PlacementPolicy):
         self.slave_ids = list(slave_ids)
         self.topology = topology
         self._rng = rng
+        self._id_set = frozenset(self.slave_ids)
+        # the order-statistic fast path requires candidate lists in ascending
+        # order; callers passing an unsorted id sequence (none in the tree,
+        # but the constructor accepts any Sequence) fall back to explicit
+        # candidate lists, which consume the same rng stream
+        self._ascending = all(
+            a < b for a, b in zip(self.slave_ids, self.slave_ids[1:])
+        )
+        self._rack_ids: Dict[int, List[int]] = {}
+        rack_of = topology.rack_of
+        for n in self.slave_ids:
+            self._rack_ids.setdefault(int(rack_of[n]), []).append(n)
 
     def _random_slave(self, exclude: set) -> Optional[int]:
-        candidates = [n for n in self.slave_ids if n not in exclude]
-        if not candidates:
+        ex = [n for n in exclude if n in self._id_set]
+        n_cand = len(self.slave_ids) - len(ex)
+        if n_cand <= 0:
             return None
-        return self._rng.choice(candidates)
+        if not self._ascending:
+            candidates = [n for n in self.slave_ids if n not in exclude]
+            return self._rng.choice(candidates)
+        k = self._rng.randrange(n_cand)
+        return _kth_excluding(self.slave_ids, sorted(ex), k)
 
     def _random_slave_in_rack(self, rack: int, exclude: set) -> Optional[int]:
-        candidates = [
-            n
-            for n in self.slave_ids
-            if n not in exclude and self.topology.rack_of[n] == rack
+        rack_ids = self._rack_ids.get(rack, [])
+        rack_of = self.topology.rack_of
+        ex = [
+            n for n in exclude if n in self._id_set and int(rack_of[n]) == rack
         ]
-        if not candidates:
+        n_cand = len(rack_ids) - len(ex)
+        if n_cand <= 0:
             return None
-        return self._rng.choice(candidates)
+        if not self._ascending:
+            candidates = [
+                n
+                for n in self.slave_ids
+                if n not in exclude and rack_of[n] == rack
+            ]
+            return self._rng.choice(candidates)
+        k = self._rng.randrange(n_cand)
+        return _kth_excluding(rack_ids, sorted(ex), k)
 
     def _random_slave_off_rack(self, rack: int, exclude: set) -> Optional[int]:
-        candidates = [
-            n
-            for n in self.slave_ids
-            if n not in exclude and self.topology.rack_of[n] != rack
-        ]
-        if not candidates:
+        rack_ids = self._rack_ids.get(rack, [])
+        skip = {n for n in exclude if n in self._id_set}
+        skip.update(rack_ids)
+        n_cand = len(self.slave_ids) - len(skip)
+        if n_cand <= 0:
             return None
-        return self._rng.choice(candidates)
+        if not self._ascending:
+            rack_of = self.topology.rack_of
+            candidates = [
+                n
+                for n in self.slave_ids
+                if n not in exclude and rack_of[n] != rack
+            ]
+            return self._rng.choice(candidates)
+        k = self._rng.randrange(n_cand)
+        return _kth_excluding(self.slave_ids, sorted(skip), k)
 
     def choose_targets(
         self,
@@ -82,7 +142,7 @@ class DefaultPlacementPolicy(PlacementPolicy):
         used: set = set()
 
         # replica 1: writer node if it is a slave, else random
-        first = writer if writer in self.slave_ids else self._random_slave(used)
+        first = writer if writer in self._id_set else self._random_slave(used)
         chosen.append(first)
         used.add(first)
         if len(chosen) == n_replicas:

@@ -155,20 +155,20 @@ class Job:
         if not self.pending_maps:
             return None
         # the scan runs for every (job, free slot) pair of every heartbeat:
-        # rack membership uses the topology's cached per-rack node set (one
-        # C-level isdisjoint per task instead of a python loop over replica
-        # holders), and the location lookup is bound once outside the loop
-        locations = namenode.locations
+        # locations come from the NameNode's dense block-id array (no dict
+        # hashing), and rack locality is one lookup in the block's per-rack
+        # replica counts — equivalent to an isdisjoint against the rack's
+        # member set (replica holders are exactly the counted nodes), but
+        # independent of both rack size and replica count
+        locs_by_id = namenode._locs_by_id
         want_rack = max_level >= Locality.RACK_LOCAL
-        rack_nodes = (
-            namenode.cluster.topology.rack_members(node_id) if want_rack else ()
-        )
+        my_rack = namenode._rack_of[node_id] if want_rack else -1
         rack_candidate: Optional[MapTask] = None
         for task in self.pending_maps:
-            locs = locations(task.block.block_id)
+            locs = locs_by_id[task.block.block_id]
             if node_id in locs:
                 return task, Locality.NODE_LOCAL
-            if want_rack and rack_candidate is None and not locs.isdisjoint(rack_nodes):
+            if want_rack and rack_candidate is None and my_rack in locs.rack_counts:
                 rack_candidate = task
         if rack_candidate is not None:
             return rack_candidate, Locality.RACK_LOCAL

@@ -17,7 +17,9 @@ from repro.cluster.cluster import Cluster
 from repro.core.manager import DareReplicationService
 from repro.hdfs.namenode import NameNode
 from repro.mapreduce.job import Job, JobSpec
+from repro.mapreduce.heartbeat_hub import HeartbeatHub
 from repro.mapreduce.runtime import TaskTimeModel
+from repro.mapreduce.slots import SlotStore
 from repro.mapreduce.speculation import SpeculationPolicy
 from repro.mapreduce.task import Locality, MapTask, ReduceTask, TaskState
 from repro.mapreduce.tasktracker import TaskTracker
@@ -130,7 +132,21 @@ class JobTracker:
         self.expected_jobs: Optional[int] = None
         self.completed_jobs = 0
         self.finished = False
+        #: dense free/capacity slot counters for every node (TaskTrackers
+        #: read and write their own entry; the heartbeat hubs scan the raw
+        #: arrays)
+        self.slots = SlotStore(cluster.spec.n_nodes)
+        for node in cluster.slaves:
+            self.slots.register(node.node_id, node.map_slots, node.reduce_slots)
         self.tasktrackers: Dict[int, TaskTracker] = {}
+        #: per-rack batched heartbeat actors (hb_batch / mesoscale modes)
+        self.hubs: List[HeartbeatHub] = []
+        #: bumped on every schedule-state change (launch, completion,
+        #: submission, requeue); the hubs use deltas across a beat to count
+        #: launches and as part of the hot-node cache key
+        self.sched_version = 0
+        self._hot_by_rack: Dict[int, List[int]] = {}
+        self._hot_cache_key: Optional[Tuple[int, int]] = None
         #: in-flight attempts by node, for failure unwinding
         self._running_by_node: Dict[int, Dict[Tuple, _RunningTask]] = {}
         #: all live attempts per task (task.key -> attempts)
@@ -150,14 +166,80 @@ class JobTracker:
     # -- setup -------------------------------------------------------------
 
     def start_tasktrackers(self) -> None:
-        """Create one TaskTracker per slave with staggered heartbeats."""
+        """Create the heartbeat chain: per-slave trackers, or rack hubs.
+
+        Event-accurate mode (the default) creates one TaskTracker per slave
+        with staggered heartbeats.  When the cluster spec asks for batched
+        heartbeats (``hb_batch`` or ``mesoscale``), one
+        :class:`HeartbeatHub` per rack replaces the per-node events; in
+        mesoscale the hubs also pool their members (TaskTrackers
+        materialise on promotion).
+        """
         rng = self.cluster.streams.python("mapreduce.heartbeat-offsets")
-        hb = self.cluster.spec.heartbeat_s
+        spec = self.cluster.spec
+        hb = spec.heartbeat_s
+        if spec.hb_batch or spec.mesoscale:
+            by_rack: Dict[int, List[int]] = {}
+            for node in self.cluster.slaves:
+                by_rack.setdefault(int(node.rack), []).append(node.node_id)
+            for rack in sorted(by_rack):
+                self.hubs.append(
+                    HeartbeatHub(
+                        rack,
+                        by_rack[rack],
+                        self,
+                        self.engine,
+                        hb,
+                        start_offset_s=rng.uniform(0.0, hb),
+                        mesoscale=spec.mesoscale,
+                    )
+                )
+            return
         for node in self.cluster.slaves:
             self.tasktrackers[node.node_id] = TaskTracker(
                 node, self, self.engine, hb, start_offset_s=rng.uniform(0.0, hb)
             )
             self._running_by_node[node.node_id] = {}
+
+    # -- batched-heartbeat support ------------------------------------------
+
+    def pending_work_units(self) -> int:
+        """Upper bound on tasks the scheduler could place right now."""
+        total = 0
+        speculative = self.speculation is not None
+        for job in self.scheduler.active_jobs:
+            total += len(job.pending_maps)
+            if job.reduces_schedulable:
+                total += len(job.reduces) - job.running_reduces - job.finished_reduces
+            if speculative:
+                total += job.running_maps
+        return total
+
+    def hot_nodes_by_rack(self) -> Dict[int, List[int]]:
+        """Replica holders of pending map blocks, grouped by rack.
+
+        Cached against (schedule state, applied control messages): any
+        launch/completion/requeue or DNA_DYNREPL/DNA_INVALIDATE heartbeat
+        changes either the pending block set or the holder sets.
+        """
+        nn = self.namenode
+        key = (self.sched_version, len(nn.command_log))
+        if key != self._hot_cache_key:
+            by_rack: Dict[int, List[int]] = {}
+            seen: set = set()
+            locs_by_id = nn._locs_by_id
+            rack_of = nn._rack_of
+            for job in self.scheduler.active_jobs:
+                for bid in job.pending_block_ids:
+                    for nid in locs_by_id[bid]:
+                        if nid not in seen:
+                            seen.add(nid)
+                            by_rack.setdefault(rack_of[nid], []).append(nid)
+            for nids in by_rack.values():
+                nids.sort()
+            self._hot_by_rack = by_rack
+            self._hot_cache_key = key
+        return self._hot_by_rack
 
     def submit_trace(self, specs: List[JobSpec]) -> None:
         """Schedule submission events for a whole trace."""
@@ -174,6 +256,7 @@ class JobTracker:
         inode = self.namenode.file(spec.input_file)
         job = Job(spec.validate(), inode)
         self.jobs.append(job)
+        self.sched_version += 1
         self.scheduler.job_added(job)
         for listener in self.submit_listeners:
             listener(job)
@@ -259,6 +342,7 @@ class JobTracker:
         if job.first_task_time is None:
             job.first_task_time = now
         job.take_map(task)
+        self.sched_version += 1
         job.locality_counts[locality] += 1
         task.state = TaskState.RUNNING
         task.node_id = node_id
@@ -330,6 +414,7 @@ class JobTracker:
             else self._fallback_locality(node_id, block.block_id)
         )
         tt.occupy_map_slot()
+        self.sched_version += 1
         # speculation is still "a map task is scheduled": DARE observes it
         self.dare.on_map_task(node_id, block, data_local, now)
         spec = job.spec
@@ -397,6 +482,7 @@ class JobTracker:
             self.speculative_won += 1
         job.running_maps -= 1
         job.finished_maps += 1
+        self.sched_version += 1
         if self.tracer.enabled:
             self.tracer.emit(
                 TASK_FINISHED,
@@ -422,6 +508,7 @@ class JobTracker:
         task.node_id = node_id
         task.start_time = now
         job.running_reduces += 1
+        self.sched_version += 1
         tt.occupy_reduce_slot()
         input_bytes = job.inode.size_bytes
         shuffle_bytes = int(input_bytes * spec.shuffle_ratio / max(1, spec.n_reduces))
@@ -466,6 +553,7 @@ class JobTracker:
         task.finish_time = now
         job.running_reduces -= 1
         job.finished_reduces += 1
+        self.sched_version += 1
         tt.release_reduce_slot()
         for cleanup in rt.cleanups:
             cleanup()
@@ -526,6 +614,7 @@ class JobTracker:
             requeued += 1
         running.clear()
         self.tasks_requeued += requeued
+        self.sched_version += 1
         return requeued
 
     # -- completion ----------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""Dense array-backed free-slot counters, indexed by node id.
+
+At 10k-100k nodes, per-TaskTracker attribute storage makes any cluster-wide
+slot question (the batched heartbeat hub's "who can take work this tick")
+a Python object walk.  The store keeps free and capacity counts in flat
+``array`` buffers indexed by node id: TaskTrackers read and write their own
+entry through the same guards as before, and the hub scans the raw buffers.
+
+Capacities are registered for *every* slave up front — including nodes the
+mesoscale pool has not materialised a TaskTracker for — so "all slots free"
+is well-defined cluster-wide.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+
+class SlotStore:
+    """Free/capacity map and reduce slot counts for all nodes."""
+
+    __slots__ = ("free_map", "free_reduce", "cap_map", "cap_reduce")
+
+    def __init__(self, n_nodes: int) -> None:
+        self.free_map = array("l", [0] * n_nodes)
+        self.free_reduce = array("l", [0] * n_nodes)
+        self.cap_map = array("l", [0] * n_nodes)
+        self.cap_reduce = array("l", [0] * n_nodes)
+
+    def register(self, node_id: int, map_slots: int, reduce_slots: int) -> None:
+        """Declare a node's slot capacity; starts fully free."""
+        self.cap_map[node_id] = map_slots
+        self.cap_reduce[node_id] = reduce_slots
+        self.free_map[node_id] = map_slots
+        self.free_reduce[node_id] = reduce_slots
+
+    def all_free(self, node_id: int) -> bool:
+        """True when no task occupies any of the node's slots."""
+        return (
+            self.free_map[node_id] == self.cap_map[node_id]
+            and self.free_reduce[node_id] == self.cap_reduce[node_id]
+        )

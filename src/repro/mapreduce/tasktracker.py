@@ -28,6 +28,13 @@ class TaskTracker:
     instead of allocating one per beat.  Firing times, labels, and sequence
     numbers are identical to naive per-beat scheduling, so traces (even with
     the ``engine.event`` firehose on) do not change.
+
+    Slot counts live in the JobTracker's :class:`~repro.mapreduce.slots.
+    SlotStore` (dense arrays indexed by node id); this class reads and
+    writes its own entry through the same over/under-release guards the
+    per-instance counters had.  Under a batched
+    :class:`~repro.mapreduce.heartbeat_hub.HeartbeatHub` (``managed=True``)
+    the tracker owns no heartbeat event — the hub calls :meth:`beat`.
     """
 
     __slots__ = (
@@ -37,8 +44,7 @@ class TaskTracker:
         "engine",
         "tracer",
         "interval_s",
-        "free_map_slots",
-        "free_reduce_slots",
+        "slots",
         "heartbeats_sent",
         "_hb_label",
         "_hb_event",
@@ -51,6 +57,7 @@ class TaskTracker:
         engine: Engine,
         interval_s: float,
         start_offset_s: float = 0.0,
+        managed: bool = False,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("heartbeat interval must be positive")
@@ -60,15 +67,28 @@ class TaskTracker:
         self.engine = engine
         self.tracer = jobtracker.tracer
         self.interval_s = interval_s
-        self.free_map_slots = node.map_slots
-        self.free_reduce_slots = node.reduce_slots
+        self.slots = jobtracker.slots
         self.heartbeats_sent = 0
         self._hb_label = f"hb:{node.hostname}"
-        self._hb_event = engine.schedule(
-            engine.now + start_offset_s, self._heartbeat, f"hb-start:{node.hostname}"
-        )
+        if managed:
+            self._hb_event = None
+        else:
+            self._hb_event = engine.schedule(
+                engine.now + start_offset_s, self._heartbeat, f"hb-start:{node.hostname}"
+            )
 
-    def _heartbeat(self) -> None:
+    @property
+    def free_map_slots(self) -> int:
+        """Free map slots on this node (store-backed)."""
+        return self.slots.free_map[self.node_id]
+
+    @property
+    def free_reduce_slots(self) -> int:
+        """Free reduce slots on this node (store-backed)."""
+        return self.slots.free_reduce[self.node_id]
+
+    def beat(self) -> None:
+        """One heartbeat: control plane, slot offers, trace record."""
         if not self.node.alive:
             return  # a dead TaskTracker stops heartbeating
         self.heartbeats_sent += 1
@@ -82,31 +102,38 @@ class TaskTracker:
                 free_map_slots=self.free_map_slots,
                 free_reduce_slots=self.free_reduce_slots,
             )
-        if not self.jobtracker.finished:
+
+    def _heartbeat(self) -> None:
+        self.beat()
+        if self.node.alive and not self.jobtracker.finished:
             self.engine.reschedule_in(self.interval_s, self._hb_event, self._hb_label)
 
     # -- slot accounting (called by the JobTracker) -----------------------
 
     def occupy_map_slot(self) -> None:
         """Claim one map slot for a launching task."""
-        if self.free_map_slots <= 0:
+        free = self.slots.free_map
+        if free[self.node_id] <= 0:
             raise RuntimeError(f"{self.node.hostname}: no free map slots")
-        self.free_map_slots -= 1
+        free[self.node_id] -= 1
 
     def release_map_slot(self) -> None:
         """Return a map slot on task completion."""
-        if self.free_map_slots >= self.node.map_slots:
+        free = self.slots.free_map
+        if free[self.node_id] >= self.node.map_slots:
             raise RuntimeError(f"{self.node.hostname}: map slot over-release")
-        self.free_map_slots += 1
+        free[self.node_id] += 1
 
     def occupy_reduce_slot(self) -> None:
         """Claim one reduce slot for a launching task."""
-        if self.free_reduce_slots <= 0:
+        free = self.slots.free_reduce
+        if free[self.node_id] <= 0:
             raise RuntimeError(f"{self.node.hostname}: no free reduce slots")
-        self.free_reduce_slots -= 1
+        free[self.node_id] -= 1
 
     def release_reduce_slot(self) -> None:
         """Return a reduce slot on task completion."""
-        if self.free_reduce_slots >= self.node.reduce_slots:
+        free = self.slots.free_reduce
+        if free[self.node_id] >= self.node.reduce_slots:
             raise RuntimeError(f"{self.node.hostname}: reduce slot over-release")
-        self.free_reduce_slots += 1
+        free[self.node_id] += 1

@@ -1,0 +1,159 @@
+"""Mesoscale promotion/demotion invariants, checked on live simulations.
+
+The mesoscale pool replaces idle TaskTrackers with bare slot-capacity
+entries, so the usual per-tracker invariant sweep cannot see those nodes.
+This suite checks the pool's own contract instead, on running
+:class:`~repro.experiments.runner.Simulation` objects — mid-run and after
+drain:
+
+* the rack hubs partition the slave set, with no node in two hubs;
+* ``accurate`` members are exactly the nodes with a live TaskTracker, and
+  ``promotions - demotions`` always equals the accurate population;
+* pooled members never hold an occupied slot (work implies promotion);
+* an explicitly mis-sequenced promote/demote raises instead of corrupting
+  the pool;
+* and — the strongest property — a mesoscale run produces **identical**
+  results to the batched-but-accurate mode on the same seed, because
+  promotion is driven by the same beat decisions the accurate tracker
+  would have made.
+
+``INVARIANT_EXAMPLES`` scales the randomized sweep (default 6; CI's
+nightly job sets 500).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import scale_spec
+from repro.core.config import DareConfig
+from repro.experiments.runner import ExperimentConfig, Simulation, run_experiment
+from repro.experiments.serialize import result_to_dict
+from repro.workloads.swim import synthesize_wl1
+
+N_RANDOM = int(os.environ.get("INVARIANT_EXAMPLES", "6"))
+
+
+def _build(n_nodes: int, n_jobs: int, seed: int, *,
+           mesoscale: bool = True, scheduler: str = "fair") -> Simulation:
+    spec = scale_spec(n_nodes, mesoscale=mesoscale, hb_batch=True)
+    workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+    config = ExperimentConfig(
+        cluster_spec=spec, scheduler=scheduler,
+        dare=DareConfig.elephant_trap(), seed=seed,
+    )
+    return Simulation(config, workload)
+
+
+def _check_hub_invariants(sim: Simulation) -> None:
+    jt = sim.jobtracker
+    hubs = jt.hubs
+    assert hubs, "batched mode must create rack hubs"
+    rack_of = sim.cluster.topology.rack_of
+
+    seen: set = set()
+    for hub in hubs:
+        members = set(hub.member_ids)
+        assert hub.member_ids == sorted(members)
+        assert not (members & seen), "a node belongs to two hubs"
+        seen |= members
+        assert all(int(rack_of[nid]) == hub.rack for nid in members)
+
+        assert hub.accurate <= members
+        if hub.mesoscale:
+            assert hub.promotions - hub.demotions == len(hub.accurate)
+        else:
+            # batched-but-accurate: everyone materialised at construction,
+            # never through the counted promote path
+            assert hub.accurate == members
+            assert hub.promotions == hub.demotions == 0
+
+        for nid in members:
+            if nid in hub.accurate:
+                assert nid in jt.tasktrackers
+            else:
+                # pooled: no tracker object, and provably idle — any work
+                # offer would have promoted the node first
+                assert nid not in jt.tasktrackers
+                assert jt.slots.all_free(nid)
+
+    assert seen == set(sim.cluster.slave_ids)
+
+
+@pytest.mark.parametrize("case", range(N_RANDOM))
+def test_random_mesoscale_run_preserves_pool_invariants(case: int) -> None:
+    rng = random.Random(0xDA7E + case)
+    sim = _build(
+        n_nodes=rng.randrange(60, 300),
+        n_jobs=rng.randrange(4, 13),
+        seed=rng.randrange(1, 10_000_000),
+        scheduler=rng.choice(["fifo", "fair"]),
+    )
+    sim.run(until=40.0)
+    _check_hub_invariants(sim)  # mid-run: promotions in flight
+    sim.run()
+    _check_hub_invariants(sim)  # drained: stragglers demoted or inert
+    result = sim.finalize()
+    sim.close()
+    assert result.n_jobs == sim.workload.n_jobs
+    assert result.makespan_s > 0
+    assert sum(h.promotions for h in sim.jobtracker.hubs) > 0
+
+
+@pytest.mark.parametrize("scheduler", ["fifo", "fair"])
+def test_mesoscale_matches_batched_accurate(scheduler: str) -> None:
+    """Pooling idle trackers must not change a single result metric."""
+    results = {}
+    for mode in ("batch", "meso"):
+        spec = scale_spec(200, mesoscale=(mode == "meso"), hb_batch=True)
+        workload = synthesize_wl1(np.random.default_rng(7), n_jobs=10)
+        config = ExperimentConfig(
+            cluster_spec=spec, scheduler=scheduler,
+            dare=DareConfig.elephant_trap(), seed=7,
+        )
+        d = result_to_dict(run_experiment(config, workload))
+        d.pop("config")  # differs by construction (the mesoscale flag)
+        results[mode] = d
+    assert results["meso"] == results["batch"]
+
+
+def test_mis_sequenced_promote_and_demote_raise() -> None:
+    sim = _build(n_nodes=80, n_jobs=6, seed=11)
+    sim.run(until=60.0)
+    hub = next(h for h in sim.jobtracker.hubs if h.accurate)
+
+    accurate = min(hub.accurate)
+    with pytest.raises(RuntimeError, match="already accurate"):
+        hub.promote(accurate)
+
+    pooled = sorted(set(hub.member_ids) - hub.accurate)
+    if pooled:
+        with pytest.raises(RuntimeError, match="not accurate"):
+            hub.demote(pooled[0])
+
+    # an accurate node that is NOT demotable (busy slots, stored blocks,
+    # or in-flight attempts) must refuse demotion
+    busy = [n for n in sorted(hub.accurate) if not hub._demotable(n)]
+    if busy:
+        with pytest.raises(RuntimeError):
+            hub.demote(busy[0])
+
+    sim.run()
+    sim.finalize()
+    sim.close()
+
+
+def test_mesoscale_rejects_strict_invariant_checking() -> None:
+    spec = scale_spec(100, mesoscale=True)
+    workload = synthesize_wl1(np.random.default_rng(3), n_jobs=4)
+    config = ExperimentConfig(
+        cluster_spec=spec, scheduler="fifo",
+        dare=DareConfig.elephant_trap(), seed=3,
+        check_invariants=True,
+    )
+    with pytest.raises(ValueError, match="event-accurate"):
+        Simulation(config, workload)

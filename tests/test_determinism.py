@@ -69,6 +69,39 @@ def test_engine_event_firehose_is_reproducible(tmp_path):
     assert diff.identical
 
 
+# -- scale modes: batched heartbeats and mesoscale are deterministic too ------
+
+
+def _run_scale_cell(mode, trace_path, n_nodes=150):
+    from repro.cluster.cluster import scale_spec
+
+    spec = scale_spec(
+        n_nodes,
+        mesoscale=(mode == "meso"),
+        hb_batch=True if mode == "batch" else None,
+    )
+    rng = np.random.default_rng(SEED)
+    workload = synthesize_wl1(rng, n_jobs=N_JOBS)
+    config = ExperimentConfig(
+        cluster_spec=spec,
+        scheduler="fair",
+        dare=POLICIES["et"],
+        seed=SEED,
+        trace_path=str(trace_path),
+    )
+    return run_experiment(config, workload)
+
+
+@pytest.mark.parametrize("mode", ["accurate", "batch", "meso"])
+def test_scale_cell_trace_is_reproducible(mode, tmp_path):
+    """scale_spec clusters replay byte-identically in every heartbeat mode."""
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    _run_scale_cell(mode, a)
+    _run_scale_cell(mode, b)
+    assert a.read_bytes() == b.read_bytes(), f"{mode}: rerun diverged"
+
+
 # -- sweep executor: identical bytes regardless of execution strategy ---------
 
 

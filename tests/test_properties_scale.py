@@ -1,0 +1,183 @@
+"""Property tests (hypothesis) for the scale rework.
+
+Each of the hot-path data structures introduced for 10k-100k-node runs is
+checked against a straightforward dict/list reference on random small
+inputs:
+
+* ``_kth_excluding`` (the placement order statistic) against filtering
+  the candidate list;
+* the full :class:`DefaultPlacementPolicy` fast path against its own
+  candidate-list fallback driven by an identically seeded RNG — the two
+  must consume the same ``_randbelow`` stream draw for draw;
+* the NameNode's rack-sharded replica indexes (``rack_counts``, the
+  per-node reverse index, the incremental under-replicated set) against
+  recomputation from the membership, across random mutation sequences
+  and a pickle round-trip;
+* the array-backed :class:`SlotStore` against per-node dict bookkeeping.
+"""
+
+import pickle
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster, scale_spec
+from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.placement import DefaultPlacementPolicy, _kth_excluding
+from repro.mapreduce.slots import SlotStore
+from repro.simulation.rng import RandomStreams
+
+# ---------------------------------------------------------------------------
+# order-statistic selection
+# ---------------------------------------------------------------------------
+
+
+@given(st.data())
+def test_kth_excluding_matches_list_filter(data):
+    ids = sorted(data.draw(st.sets(st.integers(0, 300), min_size=1, max_size=80)))
+    # skips drawn from members and non-members alike: callers only pass
+    # members, but the helper must tolerate strangers (bisect miss)
+    skip = sorted(
+        data.draw(st.sets(st.integers(0, 300), max_size=len(ids) - 1))
+    )
+    remaining = [n for n in ids if n not in set(skip)]
+    if not remaining:
+        return
+    k = data.draw(st.integers(0, len(remaining) - 1))
+    assert _kth_excluding(ids, skip, k) == remaining[k]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(3, 60),
+    st.integers(1, 6),
+)
+def test_placement_fast_path_matches_candidate_list(seed, n_nodes, rf):
+    """Order-statistic draws == candidate-list draws, stream for stream."""
+    spec = scale_spec(n_nodes)
+    cluster = Cluster(spec, RandomStreams(seed))
+    fast = DefaultPlacementPolicy(
+        cluster.slave_ids, cluster.topology, random.Random(seed)
+    )
+    ref = DefaultPlacementPolicy(
+        cluster.slave_ids, cluster.topology, random.Random(seed)
+    )
+    ref._ascending = False  # force the explicit candidate-list fallback
+    writers = random.Random(seed + 1)
+    for _ in range(20):
+        writer = writers.choice([None, 0] + cluster.slave_ids)
+        assert fast.choose_targets(rf, writer) == ref.choose_targets(rf, writer)
+
+
+# ---------------------------------------------------------------------------
+# rack-sharded replica indexes
+# ---------------------------------------------------------------------------
+
+
+def _assert_replica_indexes_consistent(nn: NameNode) -> None:
+    """Every derived index equals its recomputation from the membership."""
+    rack_of = nn._rack_of
+    blocks_on: dict = {}
+    under = set()
+    for bid, locs in nn._locations.items():
+        assert nn._locs_by_id[bid] is locs
+        assert dict(locs.rack_counts) == dict(
+            Counter(rack_of[n] for n in locs)
+        )
+        for n in locs:
+            blocks_on.setdefault(n, set()).add(bid)
+        if len(locs) < locs.rf:
+            under.add(bid)
+        assert nn.replica_count(bid) == len(locs)
+    assert {n: s for n, s in nn._blocks_on.items() if s} == blocks_on
+    assert nn._under == under
+    assert nn.under_replicated() == {
+        bid: len(nn._locs_by_id[bid]) for bid in sorted(under)
+    }
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_replica_indexes_survive_random_mutations(data):
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    n_nodes = data.draw(st.integers(3, 24))
+    cluster = Cluster(scale_spec(n_nodes), RandomStreams(seed))
+    nn = NameNode(cluster)
+    for f in range(data.draw(st.integers(1, 3))):
+        nn.create_file(
+            f"f{f}",
+            data.draw(st.integers(1, 4)) * DEFAULT_BLOCK_SIZE,
+            replication=data.draw(st.integers(1, 3)),
+        )
+    block_ids = sorted(nn.blocks)
+    slave_ids = cluster.slave_ids
+    # direct location pokes, the way Scarlett/CDRM and repair mutate the
+    # map, plus the occasional whole-node failure
+    for _ in range(data.draw(st.integers(0, 40))):
+        op = data.draw(
+            st.sampled_from(["add", "add", "discard", "fail"])
+        )
+        if op == "fail":
+            nn.fail_node(data.draw(st.sampled_from(slave_ids)))
+            continue
+        locs = nn.locations(data.draw(st.sampled_from(block_ids)))
+        node = data.draw(st.sampled_from(slave_ids))
+        if op == "add":
+            locs.add(node)
+        else:
+            locs.discard(node)
+    _assert_replica_indexes_consistent(nn)
+
+    # the pickle round-trip drops the derived indexes and rebuilds them
+    restored = pickle.loads(pickle.dumps(nn))
+    assert {
+        bid: list(locs) for bid, locs in restored._locations.items()
+    } == {bid: list(locs) for bid, locs in nn._locations.items()}
+    _assert_replica_indexes_consistent(restored)
+
+
+# ---------------------------------------------------------------------------
+# array-backed slot store
+# ---------------------------------------------------------------------------
+
+
+@given(st.data())
+def test_slot_store_matches_dict_reference(data):
+    n_nodes = data.draw(st.integers(1, 40))
+    store = SlotStore(n_nodes)
+    ref = {}
+    for nid in range(n_nodes):
+        m = data.draw(st.integers(0, 4))
+        r = data.draw(st.integers(0, 4))
+        store.register(nid, m, r)
+        ref[nid] = [m, r, m, r]  # free_map, free_reduce, cap_map, cap_reduce
+    for _ in range(data.draw(st.integers(0, 60))):
+        nid = data.draw(st.integers(0, n_nodes - 1))
+        kind = data.draw(st.sampled_from(["map", "reduce"]))
+        idx = 0 if kind == "map" else 1
+        free = ref[nid][idx]
+        cap = ref[nid][idx + 2]
+        if data.draw(st.booleans()) and free > 0:  # occupy
+            ref[nid][idx] -= 1
+            if kind == "map":
+                store.free_map[nid] -= 1
+            else:
+                store.free_reduce[nid] -= 1
+        elif free < cap:  # release
+            ref[nid][idx] += 1
+            if kind == "map":
+                store.free_map[nid] += 1
+            else:
+                store.free_reduce[nid] += 1
+    for nid in range(n_nodes):
+        assert store.free_map[nid] == ref[nid][0]
+        assert store.free_reduce[nid] == ref[nid][1]
+        assert store.cap_map[nid] == ref[nid][2]
+        assert store.cap_reduce[nid] == ref[nid][3]
+        assert store.all_free(nid) == (
+            ref[nid][0] == ref[nid][2] and ref[nid][1] == ref[nid][3]
+        )
