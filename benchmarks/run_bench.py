@@ -2,9 +2,9 @@
 
 Measures the simulator's headline numbers — engine event throughput,
 cancel-churn cost, NameNode locality queries, the ElephantTrap update,
-one timed end-to-end sweep cell, checkpoint snapshot/restore cost, and
-the fork-vs-cold wall-clock of a prefix-shared what-if grid — and writes
-them as JSON::
+one timed end-to-end sweep cell, checkpoint snapshot/restore cost, the
+fork-vs-cold wall-clock of a prefix-shared what-if grid, and the rollout
+engine's epoch fork-score-apply loop — and writes them as JSON::
 
     PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_latest.json
     PYTHONPATH=src python benchmarks/run_bench.py --check benchmarks/baseline.json
@@ -291,6 +291,35 @@ def bench_fork_vs_cold(n_jobs: int) -> Dict[str, float]:
     }
 
 
+def bench_policy_rollout_fork_grid() -> Dict[str, float]:
+    """The rollout engine's epoch fork-score-apply loop on one pinned cell.
+
+    Times ``repro run --policy rollout``'s hot path — snapshot the live
+    run at every decision epoch, fork one branch per candidate action,
+    run each fork to completion, apply strict improvements — on the
+    policy benchmark's pinned smoke cell (WL1 x 32 jobs, seed 7), and
+    reports the overhead over the plain greedy-LRU host cell.
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.policies.bench import SMOKE_JOBS, bench_config
+    from repro.workloads.swim import synthesize_wl1
+
+    workload = synthesize_wl1(np.random.default_rng(7), n_jobs=SMOKE_JOBS)
+    rollout_config = bench_config("rollout")
+    host_config = bench_config("greedy-lru")
+
+    rollout_s = best_of(lambda: run_experiment(rollout_config, workload), rounds=3)
+    host_s = best_of(lambda: run_experiment(host_config, workload), rounds=3)
+    result = run_experiment(rollout_config, workload)
+    return {
+        "wall_s": rollout_s,
+        "host_wall_s": host_s,
+        "overhead_x": rollout_s / host_s,
+        "rollout_bytes": float(result.traffic_bytes.get("rollout", 0)),
+        "n_jobs": float(SMOKE_JOBS),
+    }
+
+
 def bench_scale_one(name: str) -> Dict[str, float]:
     """One scaling point, run inside a dedicated subprocess.
 
@@ -417,6 +446,11 @@ def collect(n_jobs: int) -> Dict[str, Dict[str, float]]:
     print(f" {results['checkpoint_fork_vs_cold']['wall_s'] * 1e3:.0f}ms shared vs "
           f"{results['checkpoint_fork_vs_cold']['cold_wall_s'] * 1e3:.0f}ms cold "
           f"({results['checkpoint_fork_vs_cold']['speedup']:.2f}x)")
+    print("  policy_rollout_fork_grid ...", end="", flush=True)
+    results["policy_rollout_fork_grid"] = bench_policy_rollout_fork_grid()
+    print(f" {results['policy_rollout_fork_grid']['wall_s'] * 1e3:.0f}ms "
+          f"({results['policy_rollout_fork_grid']['overhead_x']:.1f}x over "
+          f"the plain host cell)")
     return results
 
 

@@ -17,6 +17,10 @@ Four subcommands cover the library's workflows::
     python -m repro checkpoint save --at 60 --out run.ckpt --trace run.jsonl
     python -m repro checkpoint resume run.ckpt --trace resumed.jsonl
     python -m repro perf --jobs 300 --scheduler fair --top 10
+    python -m repro train --traces corpus/ --synthesize --out model.json
+    python -m repro run --policy learned --model model.json
+    python -m repro run --policy rollout --rollout-epoch 10
+    python -m repro policy-bench --json bench.json --svg bench.svg
 
 ``run`` accepts built-in workload names (wl1/wl2), a saved workload JSON,
 or a SWIM-format TSV trace, and can inject node failures or enable the
@@ -117,13 +121,36 @@ def _cluster_spec(args: argparse.Namespace):
 def _policy(args: argparse.Namespace) -> DareConfig:
     if args.policy == "off":
         return DareConfig.off()
-    if args.policy == "lru":
+    if args.policy in ("lru", "rollout"):
+        # rollout-greedy runs the rollout engine over a greedy-lru host
         return DareConfig.greedy_lru(budget=args.budget)
+    if args.policy == "lfu":
+        return DareConfig.greedy_lfu(budget=args.budget)
     if args.policy == "et":
         return DareConfig.elephant_trap(
             p=args.p, threshold=args.threshold, budget=args.budget
         )
+    if args.policy == "learned":
+        from repro.policies.learned import DEFAULT_WEIGHTS, load_model
+
+        model = getattr(args, "model", "")
+        weights = load_model(model) if model else DEFAULT_WEIGHTS
+        return DareConfig.learned(weights, budget=args.budget)
     raise SystemExit(f"unknown policy {args.policy!r}")
+
+
+def _rollout_config(args: argparse.Namespace):
+    """The RolloutConfig for ``--policy rollout`` runs (else None)."""
+    if getattr(args, "policy", "") != "rollout":
+        return None
+    from repro.policies.rollout import RolloutConfig
+
+    return RolloutConfig(
+        epoch_s=args.rollout_epoch,
+        branches=args.rollout_branches,
+        horizon_s=args.rollout_horizon,
+        max_epochs=args.rollout_max_epochs,
+    ).validate()
 
 
 def _workload(args: argparse.Namespace) -> Workload:
@@ -220,6 +247,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         cluster_spec=_cluster_spec(args),
         scheduler=args.scheduler,
         dare=_policy(args),
+        rollout=_rollout_config(args),
         seed=args.seed,
         scarlett=scarlett,
         failures=_parse_failures(args.fail),
@@ -300,6 +328,82 @@ def cmd_perf(args: argparse.Namespace) -> int:
           f"{result.events_processed} events in {result.engine_wall_s:.3f}s "
           f"({rate:,.0f} events/s)")
     print(profiler.format_report(top=args.top))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.policies.learned import save_model
+    from repro.policies.train import (
+        dataset_from_traces,
+        fit_logistic,
+        synthesize_corpus,
+        trace_paths,
+    )
+
+    if args.synthesize:
+        print(f"synthesizing trace corpus in {args.traces} "
+              f"(wl1 x {args.jobs} jobs, seeds {args.seeds}) ...")
+        synthesize_corpus(args.traces, n_jobs=args.jobs, seeds=tuple(args.seeds))
+    paths = trace_paths(args.traces)
+    if not paths:
+        raise SystemExit(
+            f"no .jsonl traces in {args.traces!r} (pass --synthesize to "
+            "generate the smoke corpus there first)"
+        )
+    examples = dataset_from_traces(paths)
+    if not examples:
+        raise SystemExit("corpus produced no training examples")
+    result = fit_logistic(examples, epochs=args.epochs, lr=args.lr)
+    print(f"fit on {result.n_examples} examples from {len(paths)} traces "
+          f"({result.n_positive} positive)")
+    print(f"loss {result.loss:.4f}  training accuracy {result.accuracy:.3f}")
+    print("weights:", " ".join(f"{w:g}" for w in result.weights))
+    if args.out:
+        save_model(
+            result.weights,
+            args.out,
+            n_examples=result.n_examples,
+            accuracy=result.accuracy,
+            loss=result.loss,
+        )
+        print(f"model written: {args.out} "
+              f"(use with `repro run --policy learned --model {args.out}`)")
+    return 0
+
+
+def cmd_policy_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.policies.bench import (
+        BENCH_SEEDS,
+        FULL_JOBS,
+        format_report,
+        render_policy_grid,
+        run_policy_bench,
+    )
+    from repro.policies.learned import DEFAULT_WEIGHTS, load_model
+
+    seeds = tuple(args.seeds) if args.seeds else BENCH_SEEDS
+    n_jobs = FULL_JOBS if args.full else args.jobs
+    model = load_model(args.model) if args.model else DEFAULT_WEIGHTS
+    doc = run_policy_bench(
+        n_jobs=n_jobs, seeds=seeds, model=model,
+        progress=print if args.verbose else None,
+    )
+    print(format_report(doc))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if args.svg:
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(render_policy_grid(doc))
+        print(f"wrote {args.svg}")
+    gate = doc.get("gate")
+    if gate is not None and not gate["ok"] and not args.no_gate:
+        print("policy-bench gate FAILED", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -811,10 +915,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --nodes: pool idle nodes into per-rack hubs "
                         f"(required above {MESOSCALE_FLOOR:,} nodes)")
     p.add_argument("--scheduler", choices=("fifo", "fair", "fair-skip"), default="fifo")
-    p.add_argument("--policy", choices=("off", "lru", "et"), default="et")
+    p.add_argument("--policy",
+                   choices=("off", "lru", "et", "lfu", "learned", "rollout"),
+                   default="et",
+                   help="replica management: the paper baselines (lru/et), "
+                        "the lfu ablation, the offline-trained scorer "
+                        "(learned), or the checkpoint-fork rollout engine "
+                        "over a greedy host (rollout)")
     p.add_argument("--p", type=float, default=0.3, help="ElephantTrap probability")
     p.add_argument("--threshold", type=int, default=1)
     p.add_argument("--budget", type=float, default=0.2)
+    p.add_argument("--model", default="", metavar="PATH",
+                   help="model file for --policy learned (written by "
+                        "`repro train`; default: the baked-in weights)")
+    p.add_argument("--rollout-epoch", type=float, default=10.0, metavar="S",
+                   help="simulation seconds between rollout decision epochs")
+    p.add_argument("--rollout-branches", type=int, default=4, metavar="N",
+                   help="candidate actions forked per rollout epoch")
+    p.add_argument("--rollout-horizon", type=float, default=0.0, metavar="S",
+                   help="fork lookahead; 0 runs forks to completion")
+    p.add_argument("--rollout-max-epochs", type=int, default=64, metavar="N")
     p.add_argument("--seed", type=int, default=20110926)
     p.add_argument("--scarlett", action="store_true",
                    help="enable the epoch-based proactive baseline")
@@ -845,10 +965,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=200)
     p.add_argument("--cluster", choices=sorted(_CLUSTERS), default="cct")
     p.add_argument("--scheduler", choices=("fifo", "fair", "fair-skip"), default="fifo")
-    p.add_argument("--policy", choices=("off", "lru", "et"), default="et")
+    p.add_argument("--policy", choices=("off", "lru", "et", "lfu", "learned"),
+                   default="et")
     p.add_argument("--p", type=float, default=0.3, help="ElephantTrap probability")
     p.add_argument("--threshold", type=int, default=1)
     p.add_argument("--budget", type=float, default=0.2)
+    p.add_argument("--model", default="", metavar="PATH",
+                   help="model file for --policy learned")
     p.add_argument("--seed", type=int, default=20110926)
     p.add_argument("--every", type=int, default=7, metavar="N",
                    help="sample every Nth callback (default 7)")
@@ -857,6 +980,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default="", metavar="PATH",
                    help="also write the report as JSON to PATH")
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser("train",
+                       help="fit the learned policy's logistic scorer on a "
+                            "JSONL trace corpus")
+    p.add_argument("--traces", required=True, metavar="DIR",
+                   help="directory of .jsonl run traces to fit against")
+    p.add_argument("--synthesize", action="store_true",
+                   help="first populate DIR with the smoke corpus "
+                        "(greedy-lru + elephant-trap cells per seed)")
+    p.add_argument("--jobs", type=int, default=48,
+                   help="jobs per synthesized corpus run")
+    p.add_argument("--seeds", type=int, nargs="+",
+                   default=[20110926, 7, 11, 23],
+                   help="workload seeds for --synthesize")
+    p.add_argument("--epochs", type=int, default=400,
+                   help="gradient-descent epochs")
+    p.add_argument("--lr", type=float, default=0.5, help="learning rate")
+    p.add_argument("--out", default="", metavar="PATH",
+                   help="write the fitted model JSON here")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("policy-bench",
+                       help="run the learned-vs-baseline policy grid on "
+                            "pinned seeds and check the rollout gate")
+    p.add_argument("--jobs", type=int, default=32,
+                   help="jobs per run (smoke tier)")
+    p.add_argument("--full", action="store_true",
+                   help="run the nightly tier's larger workloads instead")
+    p.add_argument("--seeds", type=int, nargs="+", default=[],
+                   help="override the pinned workload seeds")
+    p.add_argument("--model", default="", metavar="PATH",
+                   help="model file for the learned column")
+    p.add_argument("--json", default="", metavar="PATH",
+                   help="write the benchmark document here")
+    p.add_argument("--svg", default="", metavar="PATH",
+                   help="write the figure-grid SVG here")
+    p.add_argument("--no-gate", action="store_true",
+                   help="report but do not fail on a gate violation")
+    p.add_argument("--verbose", action="store_true",
+                   help="print each cell as it runs")
+    p.set_defaults(func=cmd_policy_bench)
 
     p = sub.add_parser("replay", help="inspect, verify, and diff JSONL run traces")
     rsub = p.add_subparsers(dest="mode", required=True)
@@ -913,11 +1077,14 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--cluster", choices=sorted(_CLUSTERS), default="cct")
     c.add_argument("--scheduler", choices=("fifo", "fair", "fair-skip"),
                    default="fifo")
-    c.add_argument("--policy", choices=("off", "lru", "et"), default="et")
+    c.add_argument("--policy", choices=("off", "lru", "et", "lfu", "learned"),
+                   default="et")
     c.add_argument("--p", type=float, default=0.3,
                    help="ElephantTrap probability")
     c.add_argument("--threshold", type=int, default=1)
     c.add_argument("--budget", type=float, default=0.2)
+    c.add_argument("--model", default="", metavar="PATH",
+                   help="model file for --policy learned")
     c.add_argument("--seed", type=int, default=20110926)
     c.add_argument("--scarlett", action="store_true",
                    help="enable the epoch-based proactive baseline")

@@ -8,11 +8,15 @@ Hadoop (Section V-A): the ElephantTrap sampling probability ``p``, the aging
 from __future__ import annotations
 
 import enum
-from typing import NamedTuple
+from typing import NamedTuple, Sequence, Tuple
 
 
 class Policy(enum.Enum):
-    """Which replica-management scheme a node runs."""
+    """Which replica-management scheme a node runs.
+
+    The enum value doubles as the policy's name in the plugin registry
+    (:mod:`repro.policies.registry`), which is where instances are built.
+    """
 
     #: vanilla Hadoop — no dynamic replication
     OFF = "off"
@@ -22,6 +26,8 @@ class Policy(enum.Enum):
     ELEPHANT_TRAP = "elephant-trap"
     #: ablation baseline — greedy insertion, least-frequently-used eviction
     GREEDY_LFU = "greedy-lfu"
+    #: beyond the paper — offline-trained logistic scorer (repro train)
+    LEARNED = "learned"
 
 
 class DareConfig(NamedTuple):
@@ -41,12 +47,18 @@ class DareConfig(NamedTuple):
         Dynamic-replica storage budget as a fraction of the per-node share
         of stored (physical) data.  The paper calls 0.10–0.20 reasonable
         and sweeps 0.0–0.9.
+    model:
+        Logistic weights of the :data:`Policy.LEARNED` scorer (features +
+        trailing bias, see :mod:`repro.policies.learned`).  Kept here — a
+        tuple of floats — so learned cells stay hashable and cacheable
+        like every other cell; empty for all other policies.
     """
 
     policy: Policy = Policy.OFF
     p: float = 0.3
     threshold: int = 1
     budget: float = 0.2
+    model: Tuple[float, ...] = ()
 
     def validate(self) -> "DareConfig":
         """Raise ``ValueError`` on out-of-range parameters; return self."""
@@ -58,6 +70,14 @@ class DareConfig(NamedTuple):
             raise ValueError(f"threshold must be >= 0, got {self.threshold}")
         if not (0.0 <= self.budget):
             raise ValueError(f"budget must be >= 0, got {self.budget}")
+        if self.policy is Policy.LEARNED:
+            from repro.policies.learned import N_FEATURES
+
+            if len(self.model) != N_FEATURES + 1:
+                raise ValueError(
+                    f"learned policy needs {N_FEATURES + 1} model weights "
+                    f"({N_FEATURES} features + bias), got {len(self.model)}"
+                )
         return self
 
     @property
@@ -82,4 +102,20 @@ class DareConfig(NamedTuple):
         """Algorithm 2 — the paper's headline configuration is the default."""
         return cls(
             policy=Policy.ELEPHANT_TRAP, p=p, threshold=threshold, budget=budget
+        ).validate()
+
+    @classmethod
+    def greedy_lfu(cls, budget: float = 0.2) -> "DareConfig":
+        """The greedy-insertion / LFU-eviction ablation."""
+        return cls(policy=Policy.GREEDY_LFU, budget=budget).validate()
+
+    @classmethod
+    def learned(
+        cls, weights: Sequence[float], budget: float = 0.2
+    ) -> "DareConfig":
+        """The offline-trained scored policy with the given model weights."""
+        return cls(
+            policy=Policy.LEARNED,
+            budget=budget,
+            model=tuple(float(w) for w in weights),
         ).validate()

@@ -14,39 +14,62 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.budget import ReplicationBudget
-from repro.core.config import DareConfig, Policy
-from repro.core.elephant_trap import ElephantTrapPolicy
-from repro.core.greedy import GreedyLFUPolicy, GreedyLRUPolicy
+from repro.core.config import DareConfig
 from repro.hdfs.block import Block
 from repro.hdfs.namenode import NameNode
 from repro.observability.trace import NULL_TRACER, REPLICATION_ABANDONED, Tracer
+from repro.policies.base import PolicyContext
+from repro.policies.registry import create_policy
 from repro.simulation.rng import RandomStreams
 
 
 class NodeReplicaState:
     """One node's DARE state: its policy instance plus counters."""
 
-    __slots__ = ("node_id", "policy", "replications", "abandoned")
+    __slots__ = ("node_id", "policy", "observe", "replications", "abandoned")
 
     def __init__(self, node_id: int, policy) -> None:
         self.node_id = node_id
         self.policy = policy
+        #: the optional feature-observation hook, resolved once — the
+        #: paper baselines don't define it and pay one None check per task
+        self.observe = getattr(policy, "on_access", None)
         #: replicas successfully created on this node
         self.replications = 0
         #: replications abandoned because no victim could be found
         self.abandoned = 0
 
+    def __getstate__(self):
+        # the bound method in ``observe`` is re-resolved on restore so the
+        # pickled form stays minimal and alias-stable
+        return (self.node_id, self.policy, self.replications, self.abandoned)
 
-def _make_policy(config: DareConfig, node_id: int, streams: RandomStreams):
-    if config.policy is Policy.GREEDY_LRU:
-        return GreedyLRUPolicy()
-    if config.policy is Policy.GREEDY_LFU:
-        return GreedyLFUPolicy()
-    if config.policy is Policy.ELEPHANT_TRAP:
-        return ElephantTrapPolicy(
-            config.p, config.threshold, streams.python(f"dare.coin.{node_id}")
-        )
-    raise ValueError(f"no policy instance for {config.policy}")
+    def __setstate__(self, state) -> None:
+        self.node_id, self.policy, self.replications, self.abandoned = state
+        self.observe = getattr(self.policy, "on_access", None)
+
+
+def _make_policy(
+    config: DareConfig,
+    node_id: int,
+    streams: RandomStreams,
+    namenode: NameNode = None,
+    shared=None,
+):
+    """Resolve the node policy through the plugin registry.
+
+    ``Policy.value`` doubles as the registry name, so every baseline and
+    plugin is constructed through the same path (byte-identical to the
+    pre-registry inline constructors — pinned by tests/test_policies.py).
+    """
+    ctx = PolicyContext(
+        node_id=node_id,
+        config=config,
+        streams=streams,
+        namenode=namenode,
+        shared=shared if shared is not None else {},
+    )
+    return create_policy(config.policy.value, ctx)
 
 
 class DareReplicationService:
@@ -69,17 +92,23 @@ class DareReplicationService:
         self.namenode = namenode
         self.tracer = tracer
         self.states: Dict[int, NodeReplicaState] = {}
+        #: cluster-wide singletons shared by this service's policy plugins
+        #: (e.g. the learned policy's AccessStats); see PolicyContext.shared
+        self.shared: Dict[str, object] = {}
         if config.enabled:
             budget = ReplicationBudget(config.budget)
             self.per_node_budget_bytes = budget.apply(namenode)
             for node_id in namenode.datanodes:
                 self.states[node_id] = NodeReplicaState(
-                    node_id, _make_policy(config, node_id, streams)
+                    node_id,
+                    _make_policy(config, node_id, streams, namenode, self.shared),
                 )
         else:
             self.per_node_budget_bytes = 0
-        #: total replica insertions (each is piggybacked on a remote read)
+        #: total replica insertions piggybacked on remote reads
         self.replications_piggybacked = 0
+        #: replicas created proactively by the rollout engine
+        self.replications_forced = 0
 
     # -- the hook ------------------------------------------------------------
 
@@ -93,6 +122,9 @@ class DareReplicationService:
             return False
         state = self.states[node_id]
         policy = state.policy
+        if state.observe is not None:
+            # feature-aware plugins see every access before deciding
+            state.observe(block, data_local, now)
         if data_local:
             # local read: (possibly coin-gated) usage refresh
             if not policy.probabilistic or policy.wants_refresh(block):
@@ -104,7 +136,21 @@ class DareReplicationService:
             return False
         return self._try_replicate(state, block, now)
 
-    def _try_replicate(self, state: NodeReplicaState, block: Block, now: float) -> bool:
+    def force_replicate(self, node_id: int, block: Block, now: float) -> bool:
+        """Proactively replicate ``block`` onto ``node_id`` (rollout engine).
+
+        Unlike :meth:`on_map_task` this is not piggybacked on a fetch the
+        task already paid for — the caller is responsible for charging
+        the transfer.  Budget enforcement and victim eviction go through
+        the node's policy exactly as for an organic replication.
+        """
+        if not self.config.enabled:
+            return False
+        return self._try_replicate(self.states[node_id], block, now, forced=True)
+
+    def _try_replicate(
+        self, state: NodeReplicaState, block: Block, now: float, forced: bool = False
+    ) -> bool:
         dn = self.namenode.datanode(state.node_id)
         if dn.has_block(block.block_id):
             # e.g. two concurrent remote tasks for the same block: the
@@ -131,7 +177,10 @@ class DareReplicationService:
         dn.insert_dynamic(block, now)
         state.policy.add(block)
         state.replications += 1
-        self.replications_piggybacked += 1
+        if forced:
+            self.replications_forced += 1
+        else:
+            self.replications_piggybacked += 1
         return True
 
     # -- aggregate counters ---------------------------------------------------

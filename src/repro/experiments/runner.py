@@ -7,8 +7,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 
-from repro.baselines.cdrm import CdrmConfig, CdrmService
-from repro.baselines.scarlett import ScarlettConfig, ScarlettService
+from repro.baselines.cdrm import CdrmConfig
+from repro.baselines.scarlett import ScarlettConfig
 from repro.cluster.cluster import Cluster, ClusterSpec, CCT_SPEC
 from repro.failures.injector import FailureInjector, FailurePlan
 from repro.failures.repair import ReReplicationService
@@ -32,6 +32,8 @@ from repro.observability.trace import (
     JsonlSink,
     Tracer,
 )
+from repro.policies.registry import create_service
+from repro.policies.rollout import RolloutConfig
 from repro.scheduling.base import Scheduler
 from repro.scheduling.fair import FairScheduler, SkipCountFairScheduler
 from repro.scheduling.fifo import FifoScheduler
@@ -101,12 +103,16 @@ class ExperimentConfig:
     profile: bool = False
     #: time every Nth engine callback when profiling
     profile_sample_every: int = 7
+    #: drive the run through the checkpoint-fork rollout engine
+    #: (repro.policies.rollout); None = plain single-trajectory run
+    rollout: Optional[RolloutConfig] = None
 
     def label(self) -> str:
         """Readable cell label for reports."""
+        suffix = "+rollout" if self.rollout is not None else ""
         return (
             f"{self.cluster_spec.name}/{self.scheduler}/"
-            f"{self.dare.policy.value}"
+            f"{self.dare.policy.value}{suffix}"
         )
 
 
@@ -197,7 +203,14 @@ def run_experiment(
     crashed run.  Everything from sink attach onward runs under a
     ``finally: tracer.close()``, so a crashed run still leaves a flushed,
     parseable trace behind for ``python -m repro replay``.
+
+    When ``config.rollout`` is set the cell runs through the
+    checkpoint-fork rollout engine instead of a single trajectory.
     """
+    if config.rollout is not None:
+        from repro.policies.rollout import run_rollout_experiment
+
+        return run_rollout_experiment(config, workload, collector, tracer)
     tracer = make_tracer(config, tracer)
     try:
         sim = Simulation(config, workload, collector, tracer)
@@ -381,12 +394,13 @@ class Simulation:
 
         self.scarlett = None
         if config.scarlett is not None:
-            self.scarlett = ScarlettService(
+            self.scarlett = create_service(
+                "scarlett",
                 config.scarlett,
-                namenode,
-                engine,
-                traffic,
-                streams.python("scarlett"),
+                namenode=namenode,
+                engine=engine,
+                traffic=traffic,
+                rng=streams.python("scarlett"),
                 stop_when=_JobsFinished(jobtracker),
                 tracer=tracer,
             )
@@ -405,13 +419,15 @@ class Simulation:
 
         self.cdrm = None
         if config.cdrm is not None:
-            self.cdrm = CdrmService(
+            self.cdrm = create_service(
+                "cdrm",
                 config.cdrm,
-                namenode,
-                engine,
-                traffic,
-                streams.python("cdrm"),
+                namenode=namenode,
+                engine=engine,
+                traffic=traffic,
+                rng=streams.python("cdrm"),
                 stop_when=_JobsFinished(jobtracker),
+                tracer=tracer,
             )
             self.cdrm.arm()
 

@@ -73,16 +73,25 @@ def cluster_spec_from_dict(d: Dict) -> ClusterSpec:
 
 
 def config_to_dict(config: ExperimentConfig) -> Dict:
-    """ExperimentConfig as a JSON-serializable dict (exact round-trip)."""
-    return {
+    """ExperimentConfig as a JSON-serializable dict (exact round-trip).
+
+    The ``model`` and ``rollout`` keys are omitted at their defaults (no
+    weights, no rollout) — like the cluster spec's scale flags — so every
+    pre-existing config serializes, content-addresses, and traces exactly
+    as it did before the learned-policy fields were added.
+    """
+    dare_dict = {
+        "policy": config.dare.policy.value,
+        "p": config.dare.p,
+        "threshold": config.dare.threshold,
+        "budget": config.dare.budget,
+    }
+    if config.dare.model:
+        dare_dict["model"] = list(config.dare.model)
+    doc = {
         "cluster_spec": cluster_spec_to_dict(config.cluster_spec),
         "scheduler": config.scheduler,
-        "dare": {
-            "policy": config.dare.policy.value,
-            "p": config.dare.p,
-            "threshold": config.dare.threshold,
-            "budget": config.dare.budget,
-        },
+        "dare": dare_dict,
         "seed": config.seed,
         "replication": config.replication,
         "scarlett": None if config.scarlett is None else config.scarlett._asdict(),
@@ -98,11 +107,17 @@ def config_to_dict(config: ExperimentConfig) -> Dict:
         "profile": config.profile,
         "profile_sample_every": config.profile_sample_every,
     }
+    if config.rollout is not None:
+        doc["rollout"] = dict(config.rollout._asdict())
+    return doc
 
 
 def config_from_dict(d: Dict) -> ExperimentConfig:
     """Inverse of :func:`config_to_dict`."""
+    from repro.policies.rollout import RolloutConfig
+
     dare = d["dare"]
+    rollout = d.get("rollout")
     return ExperimentConfig(
         cluster_spec=cluster_spec_from_dict(d["cluster_spec"]),
         scheduler=d["scheduler"],
@@ -111,7 +126,9 @@ def config_from_dict(d: Dict) -> ExperimentConfig:
             p=dare["p"],
             threshold=dare["threshold"],
             budget=dare["budget"],
+            model=tuple(dare.get("model", ())),
         ),
+        rollout=None if rollout is None else RolloutConfig(**rollout),
         seed=d["seed"],
         replication=d["replication"],
         scarlett=None if d["scarlett"] is None else ScarlettConfig(**d["scarlett"]),

@@ -741,7 +741,9 @@ def dedupe_cells(cells: Iterable[SweepCell]) -> List[SweepCell]:
 # -- named grids (the CLI's unit of work) -------------------------------------
 
 #: grid names accepted by ``repro sweep --grid`` (besides ``all``)
-GRID_NAMES = ("smoke", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations")
+GRID_NAMES = (
+    "smoke", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "policies",
+)
 
 
 def _smoke_cells(n_jobs: int, seed: int) -> List[SweepCell]:
@@ -759,6 +761,23 @@ def _smoke_cells(n_jobs: int, seed: int) -> List[SweepCell]:
             ("lru", DareConfig.greedy_lru()),
             ("et", DareConfig.elephant_trap()),
         )
+    ]
+
+
+def _policy_cells(n_jobs: int) -> List[SweepCell]:
+    """The policy-benchmark grid: every registered policy (baselines,
+    learned, rollout-greedy) on the pinned benchmark workload seeds."""
+    from repro.policies.bench import BENCH_SEEDS, POLICY_COLUMNS, bench_config
+
+    return [
+        SweepCell(
+            bench_config(policy),
+            WorkloadSpec("wl1", n_jobs, wseed),
+            tag=f"policies/{policy}/s{wseed}",
+            x=float(wseed),
+        )
+        for wseed in BENCH_SEEDS
+        for policy in POLICY_COLUMNS
     ]
 
 
@@ -786,6 +805,8 @@ def build_grid(
         return F.fig11_cells(n_jobs=n_jobs, seed=seed)
     if name == "ablations":
         return A.ablation_cells(n_jobs=n_jobs, seed=seed)
+    if name == "policies":
+        return _policy_cells(n_jobs)
     if name == "all":
         cells: List[SweepCell] = []
         for grid in ("fig7", "fig8", "fig9", "fig10", "fig11", "ablations"):

@@ -23,6 +23,7 @@ class TrafficMeter:
         "output_pipeline",    # HDFS write pipeline for job output (rf-1 hops)
         "rebalancing",        # proactive replication (Scarlett-style epochs)
         "re_replication",     # repair traffic after node failures
+        "rollout",            # forced replications chosen by the rollout engine
     )
 
     def __init__(self) -> None:

@@ -28,6 +28,7 @@ constants below, ``time`` is the simulation clock, and ``data`` is a flat
 ``FAILURE_DETECTED``   NameNode pruned a dead node's replicas
 ``ENGINE_EVENT``       one engine callback fired (opt-in; very hot)
 ``SCARLETT_EPOCH``     Scarlett epoch boundary (targets, budget, spent)
+``ROLLOUT_DECISION``   rollout engine chose an action (or no-op) at an epoch
 ``RUN_CONFIG``         run header: experiment cell parameters (first record)
 ``RUN_SUMMARY``        run footer: final counters + per-node end state
 =====================  =========================================================
@@ -60,6 +61,7 @@ FAILURE_INJECTED = "failure.injected"
 FAILURE_DETECTED = "failure.detected"
 ENGINE_EVENT = "engine.event"
 SCARLETT_EPOCH = "scarlett.epoch"
+ROLLOUT_DECISION = "rollout.decision"
 RUN_CONFIG = "run.config"
 RUN_SUMMARY = "run.summary"
 
@@ -79,6 +81,7 @@ RECORD_TYPES = frozenset(
         FAILURE_DETECTED,
         ENGINE_EVENT,
         SCARLETT_EPOCH,
+        ROLLOUT_DECISION,
         RUN_CONFIG,
         RUN_SUMMARY,
     }

@@ -1,0 +1,221 @@
+"""Offline training of the learned policy against the trace corpus.
+
+``repro train`` turns the JSONL traces the sweeps already produce (or a
+freshly synthesized corpus) into a logistic model:
+
+* :func:`dataset_from_trace` replays a trace's ``task.scheduled``
+  records through the same :class:`~repro.policies.learned.AccessStats`
+  the live policy updates, emitting one example per **remote-read
+  decision point** — exactly where
+  ``DareReplicationService.on_map_task`` would consult the policy.  The
+  label is whether the block is accessed again later in the trace (a
+  kept replica would have had a chance to serve that access).
+* :func:`fit_logistic` fits the weights by deterministic full-batch
+  gradient descent on standardized features, then folds the
+  standardization back into the raw-feature weights so live inference
+  needs no scaler object.
+
+Everything is stdlib and deterministic: the same traces always produce
+the same weights.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, Iterable, List, NamedTuple, Sequence, Tuple
+
+from repro.policies.learned import N_FEATURES, AccessStats, feature_vector, sigmoid
+
+Example = Tuple[List[float], int]
+
+
+def dataset_from_trace(path: str) -> List[Example]:
+    """(features, label) pairs for every remote-read decision in a trace."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+
+    replication = 3
+    for rec in records:
+        if rec.get("type") == "run.config":
+            replication = int(rec.get("replication", replication))
+            break
+
+    # how many accesses of each block remain after the current record;
+    # label = "the block is read again later in the trace"
+    remaining: Dict[int, int] = {}
+    for rec in records:
+        if rec.get("type") == "task.scheduled" and rec.get("kind") == "map":
+            bid = rec.get("block")
+            if bid is not None:
+                remaining[bid] = remaining.get(bid, 0) + 1
+
+    stats = AccessStats()
+    replica_delta: Dict[int, int] = {}
+    utilization: Dict[int, float] = {}
+    examples: List[Example] = []
+    for rec in records:
+        rtype = rec.get("type")
+        if rtype in ("budget.charge", "budget.refund"):
+            cap = rec.get("capacity") or 0
+            utilization[rec["node"]] = (rec.get("used", 0) / cap) if cap else 1.0
+        elif rtype == "block.replicated":
+            replica_delta[rec["block"]] = replica_delta.get(rec["block"], 0) + 1
+        elif rtype == "block.evicted":
+            replica_delta[rec["block"]] = replica_delta.get(rec["block"], 0) - 1
+        elif rtype == "task.scheduled" and rec.get("kind") == "map":
+            bid = rec.get("block")
+            if bid is None:
+                continue
+            node = rec["node"]
+            now = float(rec["t"])
+            data_local = bool(rec.get("data_local"))
+            # mirror the live ordering: the observer hook fires before
+            # the policy is consulted, so features include this access
+            stats.observe(node, bid, data_local, now)
+            remaining[bid] -= 1
+            if not data_local:
+                features = feature_vector(
+                    stats,
+                    node,
+                    bid,
+                    replication + replica_delta.get(bid, 0),
+                    utilization.get(node, 0.0),
+                    now,
+                )
+                examples.append((features, 1 if remaining[bid] > 0 else 0))
+    return examples
+
+
+def dataset_from_traces(paths: Iterable[str]) -> List[Example]:
+    """Concatenated datasets of several traces, in sorted path order."""
+    examples: List[Example] = []
+    for path in sorted(paths):
+        examples.extend(dataset_from_trace(path))
+    return examples
+
+
+def trace_paths(trace_dir: str) -> List[str]:
+    """The ``*.jsonl`` traces under a directory, sorted."""
+    return sorted(
+        os.path.join(trace_dir, name)
+        for name in os.listdir(trace_dir)
+        if name.endswith(".jsonl")
+    )
+
+
+class TrainResult(NamedTuple):
+    """Fitted weights plus headline training metrics."""
+
+    weights: Tuple[float, ...]
+    loss: float
+    accuracy: float
+    n_examples: int
+    n_positive: int
+
+
+def fit_logistic(
+    examples: Sequence[Example],
+    *,
+    epochs: int = 400,
+    lr: float = 0.5,
+    l2: float = 1e-4,
+) -> TrainResult:
+    """Deterministic full-batch logistic regression.
+
+    Features are z-scored for conditioning, trained, and the scaler is
+    folded back into the returned raw-feature weights (bias last), so
+    they drop straight into ``DareConfig.model``.
+    """
+    if not examples:
+        raise ValueError("cannot train on an empty dataset")
+    n = len(examples)
+    means = [0.0] * N_FEATURES
+    for features, _ in examples:
+        for j, f in enumerate(features):
+            means[j] += f
+    means = [m / n for m in means]
+    variances = [0.0] * N_FEATURES
+    for features, _ in examples:
+        for j, f in enumerate(features):
+            d = f - means[j]
+            variances[j] += d * d
+    stds = [math.sqrt(v / n) or 1.0 for v in variances]
+
+    scaled = [
+        ([(f - means[j]) / stds[j] for j, f in enumerate(features)], label)
+        for features, label in examples
+    ]
+    w = [0.0] * N_FEATURES
+    b = 0.0
+    for _ in range(epochs):
+        grad_w = [l2 * wj for wj in w]
+        grad_b = 0.0
+        for features, label in scaled:
+            z = b
+            for wj, f in zip(w, features):
+                z += wj * f
+            err = sigmoid(z) - label
+            for j, f in enumerate(features):
+                grad_w[j] += err * f / n
+            grad_b += err / n
+        for j in range(N_FEATURES):
+            w[j] -= lr * grad_w[j]
+        b -= lr * grad_b
+
+    # fold the z-scoring into raw-feature space:
+    # w·(x-mean)/std + b  ==  (w/std)·x + (b - w·mean/std)
+    raw_w = [wj / sj for wj, sj in zip(w, stds)]
+    raw_b = b - sum(wj * mj / sj for wj, mj, sj in zip(w, means, stds))
+    weights = tuple(round(v, 5) for v in raw_w + [raw_b])
+
+    loss = 0.0
+    correct = 0
+    positives = 0
+    for features, label in scaled:
+        z = b
+        for wj, f in zip(w, features):
+            z += wj * f
+        p = min(max(sigmoid(z), 1e-12), 1.0 - 1e-12)
+        loss -= label * math.log(p) + (1 - label) * math.log(1.0 - p)
+        correct += (p >= 0.5) == bool(label)
+        positives += label
+    return TrainResult(weights, loss / n, correct / n, n, positives)
+
+
+# -- corpus synthesis ---------------------------------------------------------
+
+
+def synthesize_corpus(
+    trace_dir: str, n_jobs: int = 24, seeds: Sequence[int] = (20110926, 7)
+) -> List[str]:
+    """Run a small greedy-lru + elephant-trap grid with traces enabled.
+
+    The training corpus ``repro train`` defaults to when no
+    ``--trace-dir`` is given: one trace per (seed, policy) cell, written
+    under ``trace_dir``.  Deterministic and idempotent.
+    """
+    import numpy as np
+
+    from repro.core.config import DareConfig
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.workloads.swim import synthesize_wl1
+
+    os.makedirs(trace_dir, exist_ok=True)
+    paths = []
+    for seed in seeds:
+        workload = synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+        for tag, dare in (
+            ("lru", DareConfig.greedy_lru()),
+            ("et", DareConfig.elephant_trap()),
+        ):
+            path = os.path.join(trace_dir, f"corpus_{seed}_{tag}.jsonl")
+            config = ExperimentConfig(dare=dare, seed=seed, trace_path=path)
+            run_experiment(config, workload)
+            paths.append(path)
+    return paths

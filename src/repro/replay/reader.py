@@ -34,6 +34,7 @@ from repro.observability.trace import (
     HEARTBEAT,
     RECORD_TYPES,
     REPLICATION_ABANDONED,
+    ROLLOUT_DECISION,
     RUN_CONFIG,
     RUN_SUMMARY,
     SCARLETT_EPOCH,
@@ -70,6 +71,9 @@ REQUIRED_FIELDS: Dict[str, FrozenSet[str]] = {
     SCARLETT_EPOCH: frozenset(
         {"epoch", "files_hot", "extra_replicas", "budget_bytes", "spent_bytes"}
     ),
+    ROLLOUT_DECISION: frozenset(
+        {"epoch", "candidates", "applied", "score", "baseline"}
+    ),
     RUN_CONFIG: frozenset({"workload", "scheduler", "policy", "seed"}),
     RUN_SUMMARY: frozenset(
         {
@@ -88,6 +92,8 @@ REQUIRED_FIELDS: Dict[str, FrozenSet[str]] = {
 #: additional fields a record type may carry
 OPTIONAL_FIELDS: Dict[str, FrozenSet[str]] = {
     TASK_SCHEDULED: frozenset({"locality", "data_local", "block", "speculative"}),
+    # block/node are null on a no-op decision, so they skip the int check
+    ROLLOUT_DECISION: frozenset({"block", "node"}),
     TASK_FINISHED: frozenset({"locality", "speculative"}),
     SCARLETT_EPOCH: frozenset(
         {"replicas_created", "replicas_removed", "queued", "slack_bytes"}

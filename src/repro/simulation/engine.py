@@ -55,6 +55,7 @@ class Engine:
         "max_events",
         "tracer",
         "profiler",
+        "drained_at",
     )
 
     def __init__(self, max_events: int = 200_000_000, tracer: Tracer = NULL_TRACER) -> None:
@@ -63,6 +64,12 @@ class Engine:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: clock value at which the queue emptied during the last
+        #: ``run(until=...)`` — ``None`` unless that run drained early and
+        #: had its clock advanced to the horizon.  Lets drivers that pause
+        #: a simulation in epochs (the rollout engine) recover the true
+        #: end time instead of reporting the inflated horizon.
+        self.drained_at: Optional[float] = None
         #: hard safety limit against runaway simulations
         self.max_events = max_events
         #: trace bus; per-callback records require ``tracer.engine_events``
@@ -145,6 +152,7 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        self.drained_at = None
         tracer = self.tracer
         # snapshot the firehose flag: one bool check per run, not per event
         trace_events = tracer.enabled and tracer.engine_events
@@ -203,6 +211,10 @@ class Engine:
                 else:
                     ev.action()
             if until is not None and not self._stopped and self.now < until:
+                # the queue emptied before the horizon: remember where, then
+                # advance the clock to ``until`` (SimPy semantics) so a later
+                # ``run`` resumes periodic processes from the horizon
+                self.drained_at = self.now
                 self.now = until
         finally:
             self._running = False

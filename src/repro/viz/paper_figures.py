@@ -218,6 +218,18 @@ def fig11_svg(n_jobs: int = 500, seed: int = DEFAULT_SEED) -> str:
     )
 
 
+def policy_grid_svg(n_jobs: int = 0) -> str:
+    """Beyond the paper: the learned-vs-baseline policy benchmark grid.
+
+    Runs the pinned ``repro policy-bench`` smoke tier (its own workload
+    seeds and job count, so the figure matches the CI gate exactly);
+    pass ``n_jobs`` to override the tier size.
+    """
+    from repro.policies.bench import SMOKE_JOBS, render_policy_grid, run_policy_bench
+
+    return render_policy_grid(run_policy_bench(n_jobs=n_jobs or SMOKE_JOBS))
+
+
 def render_all(
     out_dir: Union[str, Path],
     n_jobs: int = 500,
@@ -234,6 +246,7 @@ def render_all(
         "fig5_windows_day": fig5_svg(seed),
         "fig6_access_cdf": fig6_svg(n_jobs, seed),
         "fig11_uniformity": fig11_svg(n_jobs, seed),
+        "policy_grid": policy_grid_svg(),
     }
     docs.update(fig7_svgs(n_jobs, seed))
     docs.update(fig8_svgs(n_jobs, seed))

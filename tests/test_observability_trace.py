@@ -45,7 +45,7 @@ class TestTracer:
         assert NULL_TRACER.emit(HEARTBEAT, 0.0) is None
 
     def test_record_types_are_distinct(self):
-        assert len(RECORD_TYPES) == 15
+        assert len(RECORD_TYPES) == 16
 
     def test_close_closes_closable_sinks(self, tmp_path):
         tracer = Tracer()

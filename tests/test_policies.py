@@ -1,0 +1,406 @@
+"""The policy plugin API: registry, learned scorer, and rollout engine.
+
+Pins the contracts the plugin layer promises:
+
+* the registry resolves every baseline byte-identically to the old
+  inline constructors (same RNG stream names, same argument order);
+* unknown names and duplicate registrations fail loudly;
+* plugin state (the learned policy's shared ``AccessStats``) survives
+  checkpoint snapshot/fork round-trips;
+* the rollout engine is seed-deterministic, degenerates to its host run
+  when it never acts, and never scores below its greedy host on the
+  pinned benchmark seeds (the CI ``policy-bench`` gate).
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import snapshot
+from repro.core.config import DareConfig, Policy
+from repro.core.elephant_trap import ElephantTrapPolicy
+from repro.core.greedy import GreedyLFUPolicy, GreedyLRUPolicy
+from repro.experiments.runner import (
+    ExperimentConfig,
+    Simulation,
+    make_tracer,
+    run_experiment,
+)
+from repro.experiments.serialize import (
+    config_from_dict,
+    config_to_dict,
+    result_to_json,
+)
+from repro.policies import (
+    PolicyContext,
+    ReplicationPolicy,
+    UnknownPolicyError,
+    create_policy,
+    create_service,
+    policy_names,
+    register_policy,
+    service_names,
+)
+from repro.policies.learned import (
+    DEFAULT_WEIGHTS,
+    FEATURE_NAMES,
+    N_FEATURES,
+    AccessStats,
+    LearnedPolicy,
+    feature_vector,
+    load_model,
+    save_model,
+)
+from repro.policies.rollout import RolloutConfig, run_rollout_experiment
+from repro.policies.train import (
+    dataset_from_trace,
+    fit_logistic,
+    synthesize_corpus,
+    trace_paths,
+)
+from repro.simulation.rng import RandomStreams
+from repro.workloads.swim import synthesize_wl1
+
+SEED = 20110926
+
+
+def _workload(n_jobs=12, seed=SEED):
+    return synthesize_wl1(np.random.default_rng(seed), n_jobs=n_jobs)
+
+
+def _ctx(config, node_id=0, namenode=None, shared=None, seed=1234):
+    return PolicyContext(
+        node_id=node_id,
+        config=config,
+        streams=RandomStreams(seed),
+        namenode=namenode,
+        shared=shared if shared is not None else {},
+    )
+
+
+class TestRegistry:
+    def test_builtin_names_registered(self):
+        assert set(policy_names()) >= {
+            "greedy-lru", "greedy-lfu", "elephant-trap", "learned",
+        }
+        assert set(service_names()) >= {"scarlett", "cdrm"}
+
+    def test_policy_enum_values_resolve(self):
+        for policy in Policy:
+            if policy is Policy.OFF:
+                continue
+            config = DareConfig(
+                policy=policy,
+                model=DEFAULT_WEIGHTS if policy is Policy.LEARNED else (),
+            )
+            built = create_policy(policy.value, _ctx(config))
+            assert isinstance(built, ReplicationPolicy)
+
+    def test_unknown_policy_lists_registered(self):
+        with pytest.raises(UnknownPolicyError, match="greedy-lru"):
+            create_policy("no-such-policy", _ctx(DareConfig.greedy_lru()))
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(UnknownPolicyError, match="scarlett"):
+            create_service("no-such-service", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("greedy-lru", lambda ctx: None)
+
+    def test_decorator_registration_roundtrip(self):
+        name = "test-only-policy"
+
+        @register_policy(name)
+        def _build(ctx):
+            return GreedyLRUPolicy()
+
+        try:
+            assert name in policy_names()
+            assert isinstance(create_policy(name, _ctx(DareConfig.greedy_lru())),
+                              GreedyLRUPolicy)
+        finally:
+            from repro.policies import registry
+
+            del registry._POLICIES[name]
+
+    def test_baselines_satisfy_protocol(self):
+        p = 0.3
+        rng = RandomStreams(1).python("x")
+        for policy in (GreedyLRUPolicy(), GreedyLFUPolicy(),
+                       ElephantTrapPolicy(p, 1, rng)):
+            assert isinstance(policy, ReplicationPolicy)
+
+
+class TestBaselineParity:
+    """The registry path is byte-identical to the legacy constructors."""
+
+    def test_elephant_trap_uses_historical_stream(self):
+        """Registry ET must draw from the pre-registry 'dare.coin.N'
+        stream so fixed-seed runs reproduce the old traces exactly."""
+        config = DareConfig.elephant_trap(p=0.5)
+        built = create_policy("elephant-trap", _ctx(config, node_id=3, seed=99))
+        reference = ElephantTrapPolicy(
+            0.5, config.threshold, RandomStreams(99).python("dare.coin.3")
+        )
+        draws = [built._rng.random() for _ in range(64)]
+        assert draws == [reference._rng.random() for _ in range(64)]
+
+    @pytest.mark.parametrize("policy", ["lru", "et"])
+    def test_run_matches_pinned_golden(self, policy, pinned_results):
+        """End-to-end fixed-seed runs through the registry still produce
+        the exact pre-registry results."""
+        dare = (DareConfig.greedy_lru() if policy == "lru"
+                else DareConfig.elephant_trap())
+        result = run_experiment(
+            ExperimentConfig(dare=dare, seed=SEED), _workload()
+        )
+        golden = pinned_results[policy]
+        assert (result.job_locality, result.makespan_s) == golden
+
+    @pytest.fixture(scope="class")
+    def pinned_results(self):
+        """Golden (job_locality, makespan_s) computed once per class from
+        the direct constructors, bypassing the registry."""
+        from repro.core import manager as M
+
+        def direct_make_policy(config, node_id, streams, namenode=None, shared=None):
+            if config.policy is Policy.GREEDY_LRU:
+                return GreedyLRUPolicy()
+            return ElephantTrapPolicy(
+                config.p, config.threshold,
+                streams.python(f"dare.coin.{node_id}"),
+            )
+
+        original = M._make_policy
+        M._make_policy = direct_make_policy
+        try:
+            out = {}
+            for tag, dare in (("lru", DareConfig.greedy_lru()),
+                              ("et", DareConfig.elephant_trap())):
+                r = run_experiment(
+                    ExperimentConfig(dare=dare, seed=SEED), _workload()
+                )
+                out[tag] = (r.job_locality, r.makespan_s)
+            return out
+        finally:
+            M._make_policy = original
+
+
+class TestLearnedPolicy:
+    def test_weight_arity_validated(self):
+        with pytest.raises(ValueError, match="weights"):
+            LearnedPolicy((1.0, 2.0), 0, None, AccessStats())
+        with pytest.raises(ValueError, match="model weights"):
+            DareConfig.learned((0.0,) * (N_FEATURES + 2))
+
+    def test_recency_reads_previous_access(self):
+        """The recency feature must not see the access being decided:
+        observe() then feature_vector() reflects the *previous* sighting."""
+        stats = AccessStats()
+        stats.observe(0, 7, False, 100.0)
+        first = feature_vector(stats, 0, 7, 3, 0.0, 100.0)
+        assert first[FEATURE_NAMES.index("recency")] == 0.0
+        stats.observe(0, 7, False, 160.0)
+        second = feature_vector(stats, 0, 7, 3, 0.0, 160.0)
+        assert 0.0 < second[FEATURE_NAMES.index("recency")] < 1.0
+
+    def test_model_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        save_model(DEFAULT_WEIGHTS, path, accuracy=0.74)
+        assert load_model(path) == DEFAULT_WEIGHTS
+
+    def test_model_file_feature_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        save_model(DEFAULT_WEIGHTS, path)
+        doc = json.loads(open(path).read())
+        doc["features"][0] = "renamed"
+        open(path, "w").write(json.dumps(doc))
+        with pytest.raises(ValueError, match="features"):
+            load_model(path)
+
+    def test_learned_run_deterministic(self):
+        config = ExperimentConfig(
+            dare=DareConfig.learned(DEFAULT_WEIGHTS), seed=SEED
+        )
+        a = run_experiment(config, _workload())
+        b = run_experiment(config, _workload())
+        assert result_to_json(a) == result_to_json(b)
+
+    def test_config_model_roundtrip_and_omitted_at_default(self):
+        learned = ExperimentConfig(dare=DareConfig.learned(DEFAULT_WEIGHTS))
+        doc = config_to_dict(learned)
+        assert doc["dare"]["model"] == list(DEFAULT_WEIGHTS)
+        assert config_from_dict(doc) == learned
+        # baselines serialize exactly as before the field existed
+        baseline = config_to_dict(ExperimentConfig(dare=DareConfig.greedy_lru()))
+        assert "model" not in baseline["dare"]
+        assert "rollout" not in baseline
+
+
+class TestPluginStateCheckpointing:
+    def test_learned_state_survives_fork(self):
+        """Snapshot mid-run, fork, finish both: byte-identical results,
+        and the fork's node policies still share one AccessStats."""
+        config = ExperimentConfig(
+            dare=DareConfig.learned(DEFAULT_WEIGHTS), seed=SEED
+        )
+        cold = Simulation(config, _workload(), tracer=make_tracer(config))
+        cold.run()
+        cold_result = cold.finalize()
+
+        warm = Simulation(config, _workload(), tracer=make_tracer(config))
+        warm.run(until=30.0)
+        fork = snapshot(warm).restore()
+
+        shared = fork.dare.shared["access_stats"]
+        assert isinstance(shared, AccessStats)
+        for state in fork.dare.states.values():
+            assert state.policy.stats is shared
+            assert state.observe is not None  # re-resolved after unpickling
+
+        fork.run()
+        assert result_to_json(fork.finalize()) == result_to_json(cold_result)
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def corpus(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("corpus")
+        synthesize_corpus(str(d), n_jobs=12, seeds=(SEED,))
+        return str(d)
+
+    def test_corpus_paths_sorted(self, corpus):
+        paths = trace_paths(corpus)
+        assert paths == sorted(paths) and len(paths) == 2
+
+    def test_dataset_counts_remote_decisions(self, corpus):
+        """One example per remote map read in the trace — the exact set
+        of decision points on_map_task consults the policy for."""
+        path = trace_paths(corpus)[0]
+        remote = sum(
+            1
+            for line in open(path)
+            for rec in [json.loads(line)]
+            if rec.get("type") == "task.scheduled"
+            and rec.get("kind") == "map"
+            and not rec.get("data_local")
+        )
+        assert len(dataset_from_trace(path)) == remote > 0
+
+    def test_fit_deterministic(self, corpus):
+        examples = dataset_from_trace(trace_paths(corpus)[0])
+        a = fit_logistic(examples, epochs=50)
+        b = fit_logistic(examples, epochs=50)
+        assert a.weights == b.weights
+        assert len(a.weights) == N_FEATURES + 1
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            fit_logistic([])
+
+
+class TestRollout:
+    ROLLOUT = RolloutConfig(epoch_s=10.0, branches=4, max_epochs=64)
+
+    def _cell(self, **overrides):
+        return ExperimentConfig(
+            dare=DareConfig.greedy_lru(), seed=SEED,
+            rollout=self.ROLLOUT, **overrides,
+        )
+
+    def test_validate_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="epoch_s"):
+            RolloutConfig(epoch_s=0.0).validate()
+        with pytest.raises(ValueError, match="branches"):
+            RolloutConfig(branches=0).validate()
+        with pytest.raises(ValueError, match="horizon_s"):
+            RolloutConfig(horizon_s=-1.0).validate()
+
+    def test_rollout_deterministic_across_runs(self, tmp_path):
+        """Same trace -> same actions: the acceptance criterion."""
+        from repro.experiments.serialize import canonical_json, result_to_dict
+
+        t1, t2 = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        wl = lambda: _workload(n_jobs=32, seed=7)  # noqa: E731
+        a = run_experiment(self._cell(trace_path=t1), wl())
+        b = run_experiment(self._cell(trace_path=t2), wl())
+        da, db = result_to_dict(a), result_to_dict(b)
+        da["config"]["trace_path"] = db["config"]["trace_path"] = ""
+        assert canonical_json(da) == canonical_json(db)
+        assert open(t1, "rb").read() == open(t2, "rb").read()
+        # rollout.decision records pass the published replay schema
+        from repro.replay.reader import read_trace
+
+        records = list(read_trace(t1, validate=True))
+        assert any(r.type == "rollout.decision" for r in records)
+
+    def test_actionless_rollout_equals_host_run(self, tmp_path):
+        """With an epoch beyond the makespan the engine never forks; the
+        run (result *and* trace bytes) is exactly the plain host run."""
+        host = ExperimentConfig(
+            dare=DareConfig.greedy_lru(), seed=SEED,
+            trace_path=str(tmp_path / "host.jsonl"),
+        )
+        degenerate = dataclasses.replace(
+            host,
+            rollout=RolloutConfig(epoch_s=1e6),
+            trace_path=str(tmp_path / "roll.jsonl"),
+        )
+        a = run_experiment(host, _workload())
+        b = run_experiment(degenerate, _workload())
+        assert (a.job_locality, a.makespan_s) == (b.job_locality, b.makespan_s)
+        assert (open(host.trace_path, "rb").read()
+                == open(degenerate.trace_path, "rb").read())
+
+    def test_rollout_config_roundtrip(self):
+        cell = self._cell()
+        assert config_from_dict(config_to_dict(cell)) == cell
+        assert "+rollout" in cell.label()
+
+    def test_gate_rollout_beats_greedy_on_pinned_seed(self):
+        """The CI policy-bench gate: rollout-greedy >= greedy, and on
+        this seed the improvement is strict (actions actually apply)."""
+        wl = _workload(n_jobs=32, seed=SEED)
+        greedy = run_experiment(
+            ExperimentConfig(dare=DareConfig.greedy_lru(), seed=SEED), wl
+        )
+        rollout = run_experiment(self._cell(), wl)
+        assert rollout.job_locality > greedy.job_locality
+        assert rollout.traffic_bytes["rollout"] > 0
+        assert rollout.config.rollout == self.ROLLOUT
+
+    def test_rollout_requires_enabled_tracer(self):
+        from repro.observability.trace import Tracer
+
+        with pytest.raises(ValueError, match="enabled tracer"):
+            run_rollout_experiment(
+                self._cell(), _workload(), tracer=Tracer(enabled=False)
+            )
+
+
+class TestPolicyBench:
+    def test_smoke_doc_and_gate(self):
+        from repro.policies.bench import (
+            check_gate,
+            format_report,
+            render_policy_grid,
+            run_policy_bench,
+        )
+
+        doc = run_policy_bench(
+            n_jobs=8, seeds=(SEED,), policies=("greedy-lru", "rollout")
+        )
+        assert {r["policy"] for r in doc["rows"]} == {"greedy-lru", "rollout"}
+        assert doc["gate"] is not None
+        assert doc["gate"]["ok"] == check_gate(doc["rows"])["ok"]
+        assert "<svg" in render_policy_grid(doc)
+        assert "gate" in format_report(doc)
+
+    def test_unknown_column_rejected(self):
+        from repro.policies.bench import bench_config
+
+        with pytest.raises(ValueError, match="unknown benchmark column"):
+            bench_config("no-such-policy")
