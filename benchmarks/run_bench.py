@@ -77,6 +77,20 @@ PRE_SHARDING_10K_EVENTS_PER_S = 5_589.0
 #: minimum events/sec improvement scale_10k must hold over that reference
 MIN_SCALE_10K_SPEEDUP = float(os.environ.get("BENCH_MIN_SCALE_10K_SPEEDUP", "5.0"))
 
+#: serial rollout overhead over the host cell *before* the incremental
+#: snapshot + parallel fork-scoring rework (policy_rollout_fork_grid on
+#: the machine that recorded benchmarks/baseline.json)
+PRE_PARALLEL_ROLLOUT_OVERHEAD_X = 16.17
+
+#: worker count used by the parallel rollout bench and its CI gate
+ROLLOUT_BENCH_JOBS = 4
+
+#: minimum parallel-over-serial rollout speedup at ROLLOUT_BENCH_JOBS
+MIN_ROLLOUT_SPEEDUP = float(os.environ.get("BENCH_MIN_ROLLOUT_SPEEDUP", "2.0"))
+
+#: maximum rollout-over-host overhead at ROLLOUT_BENCH_JOBS
+MAX_ROLLOUT_OVERHEAD = float(os.environ.get("BENCH_MAX_ROLLOUT_OVERHEAD", "6.0"))
+
 
 def best_of(fn: Callable[[], object], rounds: int) -> float:
     """Minimum wall time of ``rounds`` calls (noise-robust point estimate)."""
@@ -320,6 +334,68 @@ def bench_policy_rollout_fork_grid() -> Dict[str, float]:
     }
 
 
+def bench_policy_rollout_parallel() -> Dict[str, float]:
+    """Parallel vs serial fork scoring on the pinned rollout bench cell.
+
+    Runs the same cell as :func:`bench_policy_rollout_fork_grid` three
+    ways — serial (``jobs=1``), parallel (``jobs=ROLLOUT_BENCH_JOBS``),
+    and the plain greedy-LRU host — and reports the parallel speedup and
+    the remaining overhead over the host.  Decisions and traces are
+    byte-identical between the serial and parallel runs (the CI
+    ``policy-bench`` job ``cmp``-gates that separately); this bench gates
+    only the wall clock.  The speedup/overhead gates are skipped when the
+    machine has fewer cores than workers — the byte-identity contract
+    holds anywhere, the wall-clock one needs the cores.
+    """
+    import dataclasses
+
+    from repro.experiments.runner import run_experiment
+    from repro.policies.bench import SMOKE_JOBS, bench_config
+    from repro.workloads.swim import synthesize_wl1
+
+    workload = synthesize_wl1(np.random.default_rng(7), n_jobs=SMOKE_JOBS)
+    serial_config = bench_config("rollout")
+    parallel_config = dataclasses.replace(
+        serial_config,
+        rollout=serial_config.rollout._replace(jobs=ROLLOUT_BENCH_JOBS),
+    )
+    host_config = bench_config("greedy-lru")
+
+    serial_s = best_of(lambda: run_experiment(serial_config, workload), rounds=3)
+    parallel_s = best_of(lambda: run_experiment(parallel_config, workload), rounds=3)
+    host_s = best_of(lambda: run_experiment(host_config, workload), rounds=3)
+    return {
+        "wall_s": parallel_s,
+        "serial_wall_s": serial_s,
+        "host_wall_s": host_s,
+        "speedup": serial_s / parallel_s,
+        "overhead_x": parallel_s / host_s,
+        "serial_overhead_x": serial_s / host_s,
+        "jobs": float(ROLLOUT_BENCH_JOBS),
+        "cpus": float(os.cpu_count() or 1),
+        "n_jobs": float(SMOKE_JOBS),
+    }
+
+
+def write_rollout_svg(metrics: Dict[str, float], path: str) -> None:
+    """Render the rollout-overhead bars (host / parallel / serial / pre-PR)."""
+    from repro.viz.svg import bar_chart
+
+    host = metrics["host_wall_s"]
+    svg = bar_chart(
+        ["host", f"rollout jobs={int(metrics['jobs'])}", "rollout serial",
+         "pre-rework serial"],
+        [1.0, metrics["overhead_x"], metrics["serial_overhead_x"],
+         PRE_PARALLEL_ROLLOUT_OVERHEAD_X],
+        title=(f"Rollout overhead over the host cell "
+               f"(host {host * 1e3:.0f} ms, {int(metrics['cpus'])} CPUs)"),
+        ylabel="wall time / host wall time",
+    )
+    with open(path, "w") as fh:
+        fh.write(svg)
+    print(f"wrote {path}")
+
+
 def bench_scale_one(name: str) -> Dict[str, float]:
     """One scaling point, run inside a dedicated subprocess.
 
@@ -451,6 +527,29 @@ def collect(n_jobs: int) -> Dict[str, Dict[str, float]]:
     print(f" {results['policy_rollout_fork_grid']['wall_s'] * 1e3:.0f}ms "
           f"({results['policy_rollout_fork_grid']['overhead_x']:.1f}x over "
           f"the plain host cell)")
+    print("  policy_rollout_parallel ...", end="", flush=True)
+    results["policy_rollout_parallel"] = bench_policy_rollout_parallel()
+    print(f" {results['policy_rollout_parallel']['wall_s'] * 1e3:.0f}ms at "
+          f"jobs={ROLLOUT_BENCH_JOBS} "
+          f"({results['policy_rollout_parallel']['speedup']:.2f}x over serial, "
+          f"{results['policy_rollout_parallel']['overhead_x']:.1f}x over host)")
+    return results
+
+
+def collect_rollout() -> Dict[str, Dict[str, float]]:
+    """Just the two rollout benches (the CI policy-bench job's subset)."""
+    results: Dict[str, Dict[str, float]] = {}
+    print("  policy_rollout_fork_grid ...", end="", flush=True)
+    results["policy_rollout_fork_grid"] = bench_policy_rollout_fork_grid()
+    print(f" {results['policy_rollout_fork_grid']['wall_s'] * 1e3:.0f}ms "
+          f"({results['policy_rollout_fork_grid']['overhead_x']:.1f}x over "
+          f"the plain host cell)")
+    print("  policy_rollout_parallel ...", end="", flush=True)
+    results["policy_rollout_parallel"] = bench_policy_rollout_parallel()
+    print(f" {results['policy_rollout_parallel']['wall_s'] * 1e3:.0f}ms at "
+          f"jobs={ROLLOUT_BENCH_JOBS} "
+          f"({results['policy_rollout_parallel']['speedup']:.2f}x over serial, "
+          f"{results['policy_rollout_parallel']['overhead_x']:.1f}x over host)")
     return results
 
 
@@ -509,6 +608,11 @@ def main(argv=None) -> int:
                              "(scale_100 .. scale_100k_meso) instead of the core set")
     parser.add_argument("--scale-svg", default="", metavar="PATH",
                         help="with --scale: render the scaling curve as SVG")
+    parser.add_argument("--rollout-svg", default="", metavar="PATH",
+                        help="render the rollout-overhead bars as SVG")
+    parser.add_argument("--rollout-only", action="store_true",
+                        help="run only the rollout benches (+ their gates "
+                             "under --check)")
     parser.add_argument("--scale-one", default="", help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
@@ -518,7 +622,24 @@ def main(argv=None) -> int:
         print(json.dumps(bench_scale_one(args.scale_one)))
         return 0
 
-    if args.scale:
+    if args.rollout_only:
+        print("running rollout benches ...")
+        results = collect_rollout()
+        doc = {
+            "generated_by": "benchmarks/run_bench.py --rollout-only",
+            "results": results,
+            "reference": {
+                "pre_parallel_rollout_overhead_x":
+                    PRE_PARALLEL_ROLLOUT_OVERHEAD_X,
+                "rollout_parallel_speedup": round(
+                    results["policy_rollout_parallel"]["speedup"], 2
+                ),
+            },
+        }
+        if args.rollout_svg:
+            write_rollout_svg(results["policy_rollout_parallel"],
+                              args.rollout_svg)
+    elif args.scale:
         print(f"running scaling benches ({SCALE_JOBS}-job trace per N) ...")
         results = collect_scale()
         speedup_10k = (
@@ -551,8 +672,16 @@ def main(argv=None) -> int:
                     / results["engine_event_throughput"]["wall_s"],
                     3,
                 ),
+                "pre_parallel_rollout_overhead_x":
+                    PRE_PARALLEL_ROLLOUT_OVERHEAD_X,
+                "rollout_parallel_speedup": round(
+                    results["policy_rollout_parallel"]["speedup"], 2
+                ),
             },
         }
+        if args.rollout_svg:
+            write_rollout_svg(results["policy_rollout_parallel"],
+                              args.rollout_svg)
 
     if args.out:
         _write_doc(args.out, doc, merge=False)
@@ -572,6 +701,31 @@ def main(argv=None) -> int:
             else:
                 print(f"  fork speedup {speedup:.2f}x >= "
                       f"{MIN_FORK_SPEEDUP:.1f}x floor")
+        if "policy_rollout_parallel" in results:
+            pr = results["policy_rollout_parallel"]
+            if pr["cpus"] < pr["jobs"]:
+                print(f"  rollout parallel gate skipped: "
+                      f"{int(pr['cpus'])} CPU(s) < jobs={int(pr['jobs'])} "
+                      f"(byte-identity still holds; wall-clock gate "
+                      f"needs the cores)")
+            else:
+                if pr["speedup"] < MIN_ROLLOUT_SPEEDUP:
+                    print(f"  rollout parallel speedup {pr['speedup']:.2f}x "
+                          f"is below the {MIN_ROLLOUT_SPEEDUP:.1f}x floor")
+                    failures += 1
+                else:
+                    print(f"  rollout parallel speedup {pr['speedup']:.2f}x "
+                          f">= {MIN_ROLLOUT_SPEEDUP:.1f}x floor")
+                if pr["overhead_x"] > MAX_ROLLOUT_OVERHEAD:
+                    print(f"  rollout overhead {pr['overhead_x']:.2f}x over "
+                          f"the host exceeds the {MAX_ROLLOUT_OVERHEAD:.1f}x "
+                          f"ceiling (pre-rework: "
+                          f"{PRE_PARALLEL_ROLLOUT_OVERHEAD_X:.1f}x)")
+                    failures += 1
+                else:
+                    print(f"  rollout overhead {pr['overhead_x']:.2f}x <= "
+                          f"{MAX_ROLLOUT_OVERHEAD:.1f}x ceiling (pre-rework: "
+                          f"{PRE_PARALLEL_ROLLOUT_OVERHEAD_X:.1f}x)")
         if "scale_10k" in results:
             speedup_10k = (
                 results["scale_10k"]["events_per_sec"]

@@ -4,6 +4,12 @@ See ``docs/CHECKPOINT.md`` for the snapshot format, the determinism
 contract, and the sweep prefix-sharing heuristic built on top of it.
 """
 
+from repro.checkpoint.incremental import (
+    DELTA_FORMAT,
+    DeltaSnapshot,
+    SnapshotSession,
+    StaticPool,
+)
 from repro.checkpoint.patches import (
     FlipPolicy,
     KillNode,
@@ -15,8 +21,12 @@ from repro.checkpoint.snapshot import SNAPSHOT_FORMAT, Snapshot, snapshot
 
 __all__ = [
     "SNAPSHOT_FORMAT",
+    "DELTA_FORMAT",
     "Snapshot",
     "snapshot",
+    "DeltaSnapshot",
+    "SnapshotSession",
+    "StaticPool",
     "Patch",
     "KillNode",
     "FlipPolicy",

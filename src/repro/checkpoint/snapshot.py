@@ -46,12 +46,28 @@ _TOKEN_PROFILER = "profiler"
 
 
 class _SimulationPickler(pickle.Pickler):
-    """Pickler that tokens out the shared tracer and the profiler."""
+    """Pickler that tokens out the shared tracer and the profiler.
 
-    def __init__(self, buffer: io.BytesIO) -> None:
+    ``static_ids`` (used by the incremental-snapshot layer) additionally
+    tokens out objects pickled in an earlier *static* payload: it maps
+    ``id(obj)`` to that payload's pickle-memo index, and any object found
+    in it is emitted as a bare-``int`` persistent id instead of being
+    re-pickled.  The lookups below are ordered hottest-first — this
+    method runs once per object in the graph.
+    """
+
+    def __init__(
+        self,
+        buffer: io.BytesIO,
+        static_ids: Optional[Dict[int, int]] = None,
+    ) -> None:
         super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._static_ids = static_ids if static_ids is not None else {}
 
-    def persistent_id(self, obj: object) -> Optional[str]:
+    def persistent_id(self, obj: object):
+        token = self._static_ids.get(id(obj))
+        if token is not None:
+            return token
         if obj is NULL_TRACER:
             return _TOKEN_NULL_TRACER
         if isinstance(obj, Tracer):
@@ -62,13 +78,32 @@ class _SimulationPickler(pickle.Pickler):
 
 
 class _SimulationUnpickler(pickle.Unpickler):
-    """Unpickler that resolves tracer tokens to the restore-time bus."""
+    """Unpickler that resolves tracer tokens to the restore-time bus.
 
-    def __init__(self, buffer: io.BytesIO, tracer: Tracer) -> None:
+    ``static_map`` resolves the ``int`` persistent ids written by a
+    delta-snapshot pickler: it maps static-payload memo indices to the
+    already-unpickled static objects (see
+    :mod:`repro.checkpoint.incremental`).
+    """
+
+    def __init__(
+        self,
+        buffer: io.BytesIO,
+        tracer: Tracer,
+        static_map: Optional[Dict[int, object]] = None,
+    ) -> None:
         super().__init__(buffer)
         self._tracer = tracer
+        self._static_map = static_map if static_map is not None else {}
 
-    def persistent_load(self, pid: str) -> object:
+    def persistent_load(self, pid) -> object:
+        if type(pid) is int:
+            try:
+                return self._static_map[pid]
+            except KeyError:
+                raise pickle.UnpicklingError(
+                    f"unknown static object token {pid!r}"
+                ) from None
         if pid == _TOKEN_TRACER:
             return self._tracer
         if pid == _TOKEN_NULL_TRACER:

@@ -150,6 +150,8 @@ def _rollout_config(args: argparse.Namespace):
         branches=args.rollout_branches,
         horizon_s=args.rollout_horizon,
         max_epochs=args.rollout_max_epochs,
+        jobs=getattr(args, "rollout_jobs", 1),
+        prune=getattr(args, "rollout_prune", 0),
     ).validate()
 
 
@@ -935,6 +937,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rollout-horizon", type=float, default=0.0, metavar="S",
                    help="fork lookahead; 0 runs forks to completion")
     p.add_argument("--rollout-max-epochs", type=int, default=64, metavar="N")
+    p.add_argument("--rollout-jobs", type=int, default=1, metavar="N",
+                   help="fork-scoring worker processes (decisions and "
+                        "trace are byte-identical at any value)")
+    p.add_argument("--rollout-prune", type=int, default=0, metavar="K",
+                   help="fork only the top-K candidates by learned "
+                        "pre-score; 0 forks every candidate")
     p.add_argument("--seed", type=int, default=20110926)
     p.add_argument("--scarlett", action="store_true",
                    help="enable the epoch-based proactive baseline")

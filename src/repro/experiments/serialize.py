@@ -108,7 +108,15 @@ def config_to_dict(config: ExperimentConfig) -> Dict:
         "profile_sample_every": config.profile_sample_every,
     }
     if config.rollout is not None:
-        doc["rollout"] = dict(config.rollout._asdict())
+        rollout_dict = dict(config.rollout._asdict())
+        # jobs is an execution knob (parallel scoring is byte-identical
+        # to serial), so like trace_path/profile it never identifies the
+        # cell; prune *does* change decisions and is kept when set, but
+        # omitted at its default so pre-pruning documents round-trip
+        del rollout_dict["jobs"]
+        if not rollout_dict["prune"]:
+            del rollout_dict["prune"]
+        doc["rollout"] = rollout_dict
     return doc
 
 

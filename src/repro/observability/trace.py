@@ -215,6 +215,17 @@ class Tracer:
         """Attach a reactive subscriber called with every record."""
         self._subscribers.append(fn)
 
+    def unsubscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Detach a subscriber added by :meth:`subscribe`.
+
+        A no-op when ``fn`` was never attached, so teardown paths can
+        call it unconditionally.
+        """
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
     # -- publishing -------------------------------------------------------------
 
     def emit(self, type: str, time: float, **data: object) -> Optional[TraceRecord]:

@@ -51,6 +51,12 @@ class RolloutConfig(NamedTuple):
     scores it by final mean job locality, breaking ties toward shorter
     makespan and then toward the no-op; a positive horizon scores a
     cheaper truncated lookahead by map-level locality instead.
+
+    ``jobs`` is purely an execution knob — decisions, traces, and
+    results are byte-identical at every value (the parallel scorer
+    reduces in the same candidate order), so it is *not* serialized
+    with the cell.  ``prune`` *does* change decisions (fewer branches
+    are forked) and therefore is.
     """
 
     #: simulation seconds between decision epochs
@@ -61,6 +67,10 @@ class RolloutConfig(NamedTuple):
     horizon_s: float = 0.0
     #: stop forking after this many epochs (the run itself continues)
     max_epochs: int = 16
+    #: fork-scoring workers; 1 = serial in-process (byte-identical either way)
+    jobs: int = 1
+    #: fork only the top-k candidates by learned pre-score; 0 = fork all
+    prune: int = 0
 
     def validate(self) -> "RolloutConfig":
         """Raise ``ValueError`` on out-of-range parameters; return self."""
@@ -72,6 +82,10 @@ class RolloutConfig(NamedTuple):
             raise ValueError(f"horizon_s must be >= 0, got {self.horizon_s}")
         if self.max_epochs < 0:
             raise ValueError(f"max_epochs must be >= 0, got {self.max_epochs}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.prune < 0:
+            raise ValueError(f"prune must be >= 0, got {self.prune}")
         return self
 
 
@@ -83,26 +97,40 @@ class Action(NamedTuple):
 
 
 class FeatureTap:
-    """Trace-bus subscriber: remote map reads since the last epoch."""
+    """Trace-bus subscriber: remote map reads since the last epoch.
 
-    def __init__(self) -> None:
+    When given an :class:`~repro.policies.learned.AccessStats` it also
+    feeds *every* scheduled map read (local and remote) into it, so the
+    learned pruning pre-scorer sees the same feature distribution the
+    learned policy trains on.  The stats accumulate across epochs —
+    :meth:`reset` clears only the per-epoch candidate counters.
+    """
+
+    def __init__(self, stats=None) -> None:
         #: block_id -> remote map reads
         self.by_block: Dict[int, int] = {}
         #: node_id -> remote map reads executed on that node
         self.by_node: Dict[int, int] = {}
+        #: optional run-long AccessStats for learned candidate pruning
+        self.stats = stats
 
     def __call__(self, record: TraceRecord) -> None:
         if record.type != TASK_SCHEDULED:
             return
         data = record.data
-        if data.get("kind") != "map" or data.get("data_local"):
+        if data.get("kind") != "map":
+            return
+        local = bool(data.get("data_local"))
+        if self.stats is not None:
+            self.stats.observe(data["node"], data["block"], local, record.time)
+        if local:
             return
         block, node = data["block"], data["node"]
         self.by_block[block] = self.by_block.get(block, 0) + 1
         self.by_node[node] = self.by_node.get(node, 0) + 1
 
     def reset(self) -> None:
-        """Forget this epoch's counts."""
+        """Forget this epoch's counts (the pruning stats accumulate)."""
         self.by_block.clear()
         self.by_node.clear()
 
@@ -148,25 +176,40 @@ def apply_action(sim: "Simulation", action: Action) -> bool:
     return True
 
 
-def _score_fork(snap, action: Optional[Action], rcfg: RolloutConfig) -> Tuple:
-    """Run one branch ahead and reduce it to a comparable score tuple.
+def _prune_candidates(
+    sim: "Simulation",
+    stats,
+    candidates: List[Action],
+    keep: int,
+    weights: Tuple[float, ...],
+) -> List[Action]:
+    """Keep the ``keep`` most promising candidates by learned pre-score.
 
-    Higher is better; ties prefer the no-op (the driver only replaces
-    its baseline on a strict improvement).
+    Scores each (node, block) pair with the logistic model of
+    :mod:`repro.policies.learned` over the tap's accumulated
+    :class:`AccessStats`; ties break toward the earlier candidate (the
+    hotter block), and survivors keep their original order so the
+    driver's reduction is unaffected.  Pruning trades branches for wall
+    time — the strict-improvement guarantee is untouched because the
+    no-op branch is never pruned.
     """
-    fork = snap.restore()
-    if action is not None:
-        apply_action(fork, action)
-    if rcfg.horizon_s > 0:
-        fork.run(until=fork.now + rcfg.horizon_s)
-        _unclamp(fork)  # a fork that finished early scores its true end
-        maps = fork.collector.map_records
-        local = sum(1 for rec in maps if rec.locality == 0)
-        locality = local / len(maps) if maps else 0.0
-        return (locality, len(fork.collector.job_records), -fork.now)
-    fork.run()
-    result = fork.finalize()
-    return (result.job_locality, 0, -result.makespan_s)
+    from repro.policies.learned import feature_vector, score
+
+    scored = []
+    for idx, action in enumerate(candidates):
+        dn = sim.namenode.datanode(action.node_id)
+        cap = dn.dynamic_capacity_bytes
+        features = feature_vector(
+            stats,
+            action.node_id,
+            action.block_id,
+            sim.namenode.replica_count(action.block_id),
+            (dn.dynamic_bytes_used / cap) if cap else 1.0,
+            sim.now,
+        )
+        scored.append((-score(weights, features), idx))
+    survivors = sorted(idx for _, idx in sorted(scored)[:keep])
+    return [candidates[idx] for idx in survivors]
 
 
 def _unclamp(sim: "Simulation") -> None:
@@ -194,9 +237,17 @@ def run_rollout_experiment(
     trace header is the host cell's, so an all-no-op rollout trace is
     byte-identical to the plain host run); the rollout layer adds only
     forced replications and ``rollout.decision`` records on top.
+
+    Epoch snapshots are incremental
+    (:class:`~repro.checkpoint.incremental.SnapshotSession`) and branch
+    scoring goes through a
+    :class:`~repro.policies.parallel.ForkScorer` sized by
+    ``rollout.jobs`` — both byte-transparent: every decision, trace
+    record, and result field is identical to the serial PR-9 engine.
     """
-    from repro.checkpoint.snapshot import snapshot as take_snapshot
+    from repro.checkpoint.incremental import SnapshotSession
     from repro.experiments.runner import Simulation
+    from repro.policies.parallel import ForkScorer
 
     rcfg = (config.rollout or RolloutConfig()).validate()
     host = dataclasses.replace(config, rollout=None)
@@ -208,10 +259,20 @@ def run_rollout_experiment(
             tracer.add_sink(JsonlSink(host.trace_path))
     elif not tracer.enabled:
         raise ValueError("the rollout engine requires an enabled tracer")
+    scorer: Optional[ForkScorer] = None
     try:
         sim = Simulation(host, workload, collector, tracer)
-        tap = FeatureTap()
+        stats = None
+        weights: Tuple[float, ...] = ()
+        if rcfg.prune > 0:
+            from repro.policies.learned import DEFAULT_WEIGHTS, AccessStats
+
+            stats = AccessStats()
+            weights = host.dare.model or DEFAULT_WEIGHTS
+        tap = FeatureTap(stats)
         tracer.subscribe(tap)
+        session = SnapshotSession(sim, check=host.check_invariants)
+        scorer = ForkScorer(rcfg.jobs, pool=session.pool)
         for epoch in range(1, rcfg.max_epochs + 1):
             sim.run(until=epoch * rcfg.epoch_s)
             if sim.finished:
@@ -220,18 +281,20 @@ def run_rollout_experiment(
             tap.reset()
             if not candidates:
                 continue
-            snap = take_snapshot(sim)
-            base = _score_fork(snap, None, rcfg)
+            generated = len(candidates)
+            if stats is not None and generated > rcfg.prune:
+                candidates = _prune_candidates(
+                    sim, stats, candidates, rcfg.prune, weights
+                )
+            snap = session.snapshot()
+            base, scores = scorer.score_epoch(snap, candidates, rcfg)
             best_action: Optional[Action] = None
             best = base
-            for action in candidates:
-                s = _score_fork(snap, action, rcfg)
+            for action, s in zip(candidates, scores):
                 if s > best:
                     best_action, best = action, s
             applied = best_action is not None and apply_action(sim, best_action)
-            tracer.emit(
-                ROLLOUT_DECISION,
-                sim.now,
+            decision = dict(
                 epoch=epoch,
                 candidates=len(candidates),
                 block=best_action.block_id if best_action else None,
@@ -240,6 +303,13 @@ def run_rollout_experiment(
                 score=list(best),
                 baseline=list(base),
             )
+            if rcfg.prune > 0:
+                # only pruned cells carry the extra key, so prune=0
+                # traces stay byte-identical to the pre-pruning engine
+                decision["pruned"] = generated - len(candidates)
+            tracer.emit(ROLLOUT_DECISION, sim.now, **decision)
+        # the tap's job is done — stop it counting the trailing events
+        tracer.unsubscribe(tap)
         if sim.engine.drained_at is not None:
             # the queue emptied inside the last epoch: rewind the
             # horizon-clamped clock before reading the makespan
@@ -252,4 +322,6 @@ def run_rollout_experiment(
         # — even though the trace header carries the stripped host config
         return dataclasses.replace(sim.finalize(), config=config)
     finally:
+        if scorer is not None:
+            scorer.close()
         tracer.close()

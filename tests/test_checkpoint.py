@@ -14,7 +14,14 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.checkpoint import Snapshot, parse_patch, snapshot
+from repro.checkpoint import (
+    DELTA_FORMAT,
+    Snapshot,
+    SnapshotSession,
+    StaticPool,
+    parse_patch,
+    snapshot,
+)
 from repro.core.config import DareConfig
 from repro.experiments.runner import ExperimentConfig, Simulation, make_tracer
 from repro.workloads.swim import synthesize_wl1
@@ -297,3 +304,97 @@ def test_fork_cells_shared_prefix_matches_cold_path(tmp_path):
     again = results_of(run_fork_cells(cells, cache=cache))
     assert cache.hits == len(cells)
     assert [result_to_json(r) for r in again] == [result_to_json(r) for r in first]
+
+
+# ---------------------------------------------------------------------------
+# incremental (delta) snapshots: the rollout engine's per-epoch fast path
+# ---------------------------------------------------------------------------
+
+
+def _session_sim(**overrides):
+    config = ExperimentConfig(dare=DareConfig.greedy_lru(), seed=SEED, **overrides)
+    sim = Simulation(config, _workload(), tracer=make_tracer(config))
+    sim.run(until=20.0)
+    return sim
+
+
+def test_delta_snapshot_round_trips_like_a_full_snapshot():
+    """Delta-restored and full-restored forks finish byte-identically."""
+    from repro.experiments.serialize import result_to_json
+
+    sim = _session_sim()
+    session = SnapshotSession(sim, check=True)  # self-check every epoch
+    for until in (30.0, 40.0):
+        delta = session.snapshot()
+        full = snapshot(sim)
+        assert delta.format == DELTA_FORMAT
+        assert delta.time == full.time == sim.now
+        # the delta payload really is a delta, not a second full pickle
+        assert len(delta.payload) < len(full.payload)
+        a, b = delta.restore(), full.restore()
+        a.run()
+        b.run()
+        assert result_to_json(a.finalize()) == result_to_json(b.finalize())
+        sim.run(until=until)
+    sim.close()
+
+
+def test_delta_forks_share_immutable_statics_without_crosstalk():
+    """Pool-restored forks share static objects; the host is untouched."""
+    from repro.experiments.serialize import result_to_json
+
+    sim = _session_sim()
+    session = SnapshotSession(sim)
+    snap = session.snapshot()
+    # restoring against the session's pool shares the *live* objects
+    fork = snap.restore(pool=session.pool)
+    assert fork.config is sim.config
+    assert fork.workload is sim.workload
+    assert fork.cluster.topology is sim.cluster.topology
+    fork.run()
+    # a second pool shares across sibling forks but not with the host
+    pool = StaticPool()
+    f1, f2 = snap.restore(pool=pool), snap.restore(pool=pool)
+    assert f1.config is f2.config is not sim.config
+    f1.run()
+    # the host, its forks, and a cold run all agree after the fork ran
+    sim.run()
+    f2.run()
+    host_doc = result_to_json(sim.finalize())
+    assert result_to_json(f2.finalize()) == host_doc
+    cold = ExperimentConfig(dare=DareConfig.greedy_lru(), seed=SEED)
+    cold_sim = Simulation(cold, _workload(), tracer=make_tracer(cold))
+    cold_sim.run()
+    assert result_to_json(cold_sim.finalize()) == host_doc
+
+
+def test_delta_session_rebases_when_the_file_tree_changes():
+    from repro.hdfs.block import DEFAULT_BLOCK_SIZE
+
+    sim = _session_sim()
+    session = SnapshotSession(sim)
+    a = session.snapshot()
+    b = session.snapshot()
+    # steady state: the static payload is pickled once and reused
+    assert a.static_payload is b.static_payload
+    sim.namenode.create_file("late-arrival", 2 * DEFAULT_BLOCK_SIZE)
+    c = session.snapshot()
+    assert c.static_payload != a.static_payload
+    fork = c.restore()
+    assert any(f.name == "late-arrival" for f in fork.namenode.files.values())
+    fork.run()  # the rebased snapshot is still a working checkpoint
+    sim.close()
+
+
+def test_static_pool_caches_by_payload_bytes():
+    sim = _session_sim()
+    session = SnapshotSession(sim)
+    snap = session.snapshot()
+    pool = StaticPool()
+    first = pool.resolve(snap.static_payload)
+    assert pool.resolve(snap.static_payload) is first  # cache hit
+    assert pool.resolve(snap.static_payload)[0] is first[0]
+    sim.namenode.create_file("other", 1)
+    rebased = session.snapshot()
+    assert pool.resolve(rebased.static_payload) is not first  # miss on rebase
+    sim.close()

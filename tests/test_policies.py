@@ -14,6 +14,7 @@ Pins the contracts the plugin layer promises:
 
 import dataclasses
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -306,9 +307,9 @@ class TestRollout:
     ROLLOUT = RolloutConfig(epoch_s=10.0, branches=4, max_epochs=64)
 
     def _cell(self, **overrides):
+        overrides.setdefault("rollout", self.ROLLOUT)
         return ExperimentConfig(
-            dare=DareConfig.greedy_lru(), seed=SEED,
-            rollout=self.ROLLOUT, **overrides,
+            dare=DareConfig.greedy_lru(), seed=SEED, **overrides,
         )
 
     def test_validate_rejects_bad_knobs(self):
@@ -318,6 +319,10 @@ class TestRollout:
             RolloutConfig(branches=0).validate()
         with pytest.raises(ValueError, match="horizon_s"):
             RolloutConfig(horizon_s=-1.0).validate()
+        with pytest.raises(ValueError, match="jobs"):
+            RolloutConfig(jobs=0).validate()
+        with pytest.raises(ValueError, match="prune"):
+            RolloutConfig(prune=-1).validate()
 
     def test_rollout_deterministic_across_runs(self, tmp_path):
         """Same trace -> same actions: the acceptance criterion."""
@@ -359,6 +364,146 @@ class TestRollout:
         cell = self._cell()
         assert config_from_dict(config_to_dict(cell)) == cell
         assert "+rollout" in cell.label()
+
+    def test_rollout_serialization_hides_jobs_and_keeps_prune(self):
+        """`jobs` never identifies a cell (parallel == serial, byte for
+        byte); `prune` changes decisions, so it does — but is omitted at
+        its default so pre-pruning documents still round-trip."""
+        plain = config_to_dict(self._cell())["rollout"]
+        assert "jobs" not in plain and "prune" not in plain
+        tuned = self._cell(
+            rollout=self.ROLLOUT._replace(jobs=4, prune=2)
+        )
+        doc = config_to_dict(tuned)["rollout"]
+        assert "jobs" not in doc
+        assert doc["prune"] == 2
+        restored = config_from_dict(config_to_dict(tuned))
+        assert restored.rollout.prune == 2
+        assert restored.rollout.jobs == 1  # execution knob, not identity
+        # a jobs-4 cell and the serial cell serialize identically
+        assert config_to_dict(tuned) == config_to_dict(
+            self._cell(rollout=self.ROLLOUT._replace(prune=2))
+        )
+
+    @pytest.mark.parametrize("jobs", (2, 4))
+    def test_parallel_scoring_is_byte_identical_to_serial(self, jobs, tmp_path):
+        """The tentpole contract: decisions, trace bytes, and the
+        ExperimentResult are unchanged at any worker count."""
+        from repro.experiments.serialize import canonical_json, result_to_dict
+
+        serial_cell = self._cell(trace_path=str(tmp_path / "serial.jsonl"))
+        parallel_cell = self._cell(
+            rollout=self.ROLLOUT._replace(jobs=jobs),
+            trace_path=str(tmp_path / f"j{jobs}.jsonl"),
+        )
+        wl = lambda: _workload(n_jobs=32, seed=7)  # noqa: E731
+        a = run_experiment(serial_cell, wl())
+        b = run_experiment(parallel_cell, wl())
+        da, db = result_to_dict(a), result_to_dict(b)
+        da["config"]["trace_path"] = db["config"]["trace_path"] = ""
+        assert canonical_json(da) == canonical_json(db)
+        assert (tmp_path / "serial.jsonl").read_bytes() == \
+            (tmp_path / f"j{jobs}.jsonl").read_bytes()
+
+    def test_thread_backend_matches_serial(self, tmp_path):
+        """The GIL fallback goes through the same reduction."""
+        from repro.checkpoint import SnapshotSession
+        from repro.observability.trace import Tracer
+        from repro.policies.parallel import ForkScorer
+        from repro.policies.rollout import FeatureTap
+
+        config = ExperimentConfig(dare=DareConfig.greedy_lru(), seed=7)
+        sim = Simulation(config, _workload(n_jobs=32, seed=7),
+                         tracer=Tracer())
+        tap = FeatureTap()
+        sim.tracer.subscribe(tap)
+        sim.run(until=80.0)
+        candidates = tap.candidates(sim, 4)
+        assert candidates, "pinned cell must produce candidates by t=80"
+        snap = SnapshotSession(sim).snapshot()
+        rcfg = RolloutConfig(epoch_s=10.0, branches=4)
+        with ForkScorer(1) as serial, ForkScorer(2, mode="thread") as threaded:
+            base_a, scores_a = serial.score_epoch(snap, candidates, rcfg)
+            base_b, scores_b = threaded.score_epoch(snap, candidates, rcfg)
+        assert base_a == base_b
+        assert scores_a == scores_b
+
+        # truncated-horizon scoring is deterministic and comparable too
+        from repro.policies.parallel import score_fork
+
+        hcfg = RolloutConfig(epoch_s=10.0, branches=4, horizon_s=30.0)
+        h1 = score_fork(snap, candidates[0], hcfg)
+        h2 = score_fork(snap, candidates[0], hcfg)
+        assert h1 == h2
+        assert 0.0 <= h1[0] <= 1.0 and h1[2] <= -sim.engine.now
+        sim.close()
+
+    def test_worker_loop_scores_chunks_and_ships_failures(self):
+        """`_worker_main` run in-process over a real pipe: one good chunk
+        answered ("ok", scores), a poisoned one answered ("err", ...) so
+        the host raises instead of hanging, then a clean shutdown."""
+        import multiprocessing as mp
+
+        from repro.checkpoint import SnapshotSession
+        from repro.policies.parallel import _worker_main, score_fork
+
+        config = ExperimentConfig(dare=DareConfig.greedy_lru(), seed=7)
+        sim = Simulation(config, _workload(n_jobs=32, seed=7))
+        sim.run(until=80.0)
+        session = SnapshotSession(sim)
+        snap = session.snapshot()
+        rcfg = RolloutConfig(epoch_s=10.0, branches=4)
+        host_conn, worker_conn = mp.Pipe(duplex=True)
+        # a snapshot message overflows the pipe's OS buffer, so the loop
+        # must be draining while we send — run it on a thread
+        worker = threading.Thread(target=_worker_main, args=(worker_conn,))
+        worker.start()
+        host_conn.send((snap, rcfg, [(0, None), (1, None)]))
+        host_conn.send((snap, None, [(0, None)]))  # rcfg=None blows up scoring
+        host_conn.send(None)
+        worker.join(timeout=60.0)
+        assert not worker.is_alive()
+        status, payload = host_conn.recv()
+        assert status == "ok"
+        want = score_fork(snap, None, rcfg, pool=session.pool)
+        assert payload == [(0, want), (1, want)]
+        status, message = host_conn.recv()
+        assert status == "err" and "horizon_s" in message
+        host_conn.close()
+        sim.close()
+
+    def test_pruning_keeps_strict_improvement_and_is_deterministic(
+        self, tmp_path
+    ):
+        """Top-k pruning trades branches for wall time: fewer forks, the
+        no-op baseline never pruned, decisions identical across jobs."""
+        wl = lambda: _workload(n_jobs=32, seed=SEED)  # noqa: E731
+        greedy = run_experiment(
+            ExperimentConfig(dare=DareConfig.greedy_lru(), seed=SEED), wl()
+        )
+        pruned_cell = self._cell(
+            rollout=self.ROLLOUT._replace(prune=2),
+            trace_path=str(tmp_path / "p1.jsonl"),
+        )
+        pruned = run_experiment(pruned_cell, wl())
+        # the strict-improvement guarantee survives pruning
+        assert pruned.job_locality >= greedy.job_locality
+        # pruned decision records document how many branches were cut
+        decisions = [
+            json.loads(line)
+            for line in open(pruned_cell.trace_path, encoding="utf-8")
+            if '"rollout.decision"' in line
+        ]
+        assert decisions and all("pruned" in d for d in decisions)
+        assert all(0 <= d["candidates"] <= 2 for d in decisions)
+        # ... and pruning composes with parallel scoring byte-identically
+        parallel_cell = self._cell(
+            rollout=self.ROLLOUT._replace(prune=2, jobs=4),
+            trace_path=str(tmp_path / "p4.jsonl"),
+        )
+        run_experiment(parallel_cell, wl())
+        assert (tmp_path / "p1.jsonl").read_bytes() == \
+            (tmp_path / "p4.jsonl").read_bytes()
 
     def test_gate_rollout_beats_greedy_on_pinned_seed(self):
         """The CI policy-bench gate: rollout-greedy >= greedy, and on
